@@ -1,0 +1,54 @@
+// Command giraphrun executes a single Giraph workload under Giraph-OOC or
+// TeraHeap and prints its execution-time breakdown and engine statistics.
+//
+// Usage:
+//
+//	giraphrun -workload PR -mode th -dram 85 [-threads 8] [-scale 1.0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/carv-repro/teraheap-go/internal/experiments"
+	"github.com/carv-repro/teraheap-go/internal/giraph"
+	"github.com/carv-repro/teraheap-go/internal/simclock"
+)
+
+func main() {
+	workload := flag.String("workload", "PR", "Giraph workload: PR CDLP WCC BFS SSSP")
+	mode := flag.String("mode", "th", "mode: ooc or th")
+	dram := flag.Float64("dram", 85, "DRAM budget in paper-GB")
+	threads := flag.Int("threads", 8, "compute threads")
+	scale := flag.Float64("scale", 1, "dataset scale factor")
+	flag.Parse()
+
+	m := giraph.ModeTH
+	if *mode == "ooc" {
+		m = giraph.ModeOOC
+	}
+	r := experiments.RunGiraph(experiments.GiraphRun{
+		Workload: *workload, Mode: m, DramGB: *dram,
+		Threads: *threads, DatasetScale: *scale,
+	})
+	if r.OOM {
+		fmt.Printf("%s: OUT OF MEMORY\n", r.Name)
+		os.Exit(1)
+	}
+	fmt.Printf("%s\n", r.Name)
+	fmt.Printf("  total    %12v\n", r.B.Total().Round(time.Microsecond))
+	fmt.Printf("  other    %12v\n", r.B.Get(simclock.Other).Round(time.Microsecond))
+	fmt.Printf("  s/d+io   %12v\n", r.B.Get(simclock.SerDesIO).Round(time.Microsecond))
+	fmt.Printf("  minorGC  %12v  (%d cycles)\n", r.B.Get(simclock.MinorGC).Round(time.Microsecond), r.GCStats.MinorCount)
+	fmt.Printf("  majorGC  %12v  (%d cycles)\n", r.B.Get(simclock.MajorGC).Round(time.Microsecond), r.GCStats.MajorCount)
+	fmt.Printf("  device   reads %d (%d KB)  writes %d (%d KB)\n",
+		r.DevStats.ReadOps, r.DevStats.BytesRead/1024, r.DevStats.WriteOps, r.DevStats.BytesWritten/1024)
+	if r.THStats != nil {
+		fmt.Printf("  teraheap moved %d objects (%d KB), regions %d allocated / %d reclaimed, threshold trips %d\n",
+			r.THStats.ObjectsMoved, r.THStats.BytesMoved/1024,
+			r.THStats.RegionsAllocated, r.THStats.RegionsReclaimed, r.THStats.HighThresholdTrips)
+	}
+	fmt.Printf("  checksum %g\n", r.Checksum)
+}

@@ -1,0 +1,68 @@
+// Command sparkrun executes a single Spark workload under a chosen
+// runtime configuration and prints its execution-time breakdown, GC
+// statistics, and device traffic.
+//
+// Usage:
+//
+//	sparkrun -workload PR -runtime th -dram 80 [-device nvme|nvm]
+//	         [-threads 8] [-scale 1.0]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/carv-repro/teraheap-go/internal/experiments"
+	"github.com/carv-repro/teraheap-go/internal/simclock"
+	"github.com/carv-repro/teraheap-go/internal/storage"
+)
+
+func main() {
+	workload := flag.String("workload", "PR", "Spark workload: PR CC SSSP SVD TR LR LgR SVM BC RL KM")
+	runtime := flag.String("runtime", "th", "runtime: sd th g1 mo panthera")
+	dram := flag.Float64("dram", 80, "DRAM budget in paper-GB")
+	device := flag.String("device", "nvme", "H2/off-heap device: nvme or nvm")
+	threads := flag.Int("threads", 8, "executor mutator threads")
+	scale := flag.Float64("scale", 1, "dataset scale factor")
+	flag.Parse()
+
+	kinds := map[string]experiments.RuntimeKind{
+		"sd": experiments.RuntimePS, "th": experiments.RuntimeTH,
+		"g1": experiments.RuntimeG1, "mo": experiments.RuntimeMO,
+		"panthera": experiments.RuntimePanthera,
+	}
+	kind, ok := kinds[*runtime]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown runtime %q\n", *runtime)
+		os.Exit(2)
+	}
+	dev := storage.NVMeSSD
+	if *device == "nvm" {
+		dev = storage.NVM
+	}
+
+	r := experiments.RunSpark(experiments.SparkRun{
+		Workload: *workload, Runtime: kind, DramGB: *dram,
+		Device: dev, Threads: *threads, DatasetScale: *scale,
+	})
+	if r.OOM {
+		fmt.Printf("%s: OUT OF MEMORY\n", r.Name)
+		os.Exit(1)
+	}
+	fmt.Printf("%s\n", r.Name)
+	fmt.Printf("  total    %12v\n", r.B.Total().Round(time.Microsecond))
+	fmt.Printf("  other    %12v\n", r.B.Get(simclock.Other).Round(time.Microsecond))
+	fmt.Printf("  s/d+io   %12v\n", r.B.Get(simclock.SerDesIO).Round(time.Microsecond))
+	fmt.Printf("  minorGC  %12v  (%d cycles)\n", r.B.Get(simclock.MinorGC).Round(time.Microsecond), r.GCStats.MinorCount)
+	fmt.Printf("  majorGC  %12v  (%d cycles)\n", r.B.Get(simclock.MajorGC).Round(time.Microsecond), r.GCStats.MajorCount)
+	fmt.Printf("  device   reads %d (%d KB)  writes %d (%d KB)\n",
+		r.DevStats.ReadOps, r.DevStats.BytesRead/1024, r.DevStats.WriteOps, r.DevStats.BytesWritten/1024)
+	if r.THStats != nil {
+		fmt.Printf("  teraheap moved %d objects (%d KB), regions %d allocated / %d reclaimed\n",
+			r.THStats.ObjectsMoved, r.THStats.BytesMoved/1024,
+			r.THStats.RegionsAllocated, r.THStats.RegionsReclaimed)
+	}
+	fmt.Printf("  checksum %g\n", r.Checksum)
+}

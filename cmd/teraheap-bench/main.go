@@ -1,0 +1,147 @@
+// Command teraheap-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	teraheap-bench <experiment> [workload]
+//
+// Experiments: fig6-spark, fig6-giraph, fig7, fig8, fig9a, fig9b, fig10,
+// fig11a, fig11b, fig12a, fig12b, fig12c, fig13a, fig13b, table5,
+// barrier, ablation-groups, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/carv-repro/teraheap-go/internal/experiments"
+	"github.com/carv-repro/teraheap-go/internal/metrics"
+)
+
+var csvOut = flag.Bool("csv", false, "emit fig6 results as CSV instead of tables")
+
+func main() {
+	flag.Parse()
+	if flag.NArg() < 1 {
+		usage()
+		os.Exit(2)
+	}
+	what := flag.Arg(0)
+	arg := flag.Arg(1)
+	switch what {
+	case "fig6-spark":
+		if arg != "" {
+			r := experiments.Fig6Spark(arg)
+			if *csvOut {
+				fmt.Print(metrics.CSVBreakdown(r.Rows))
+			} else {
+				fmt.Print(metrics.FormatBreakdown("Fig 6 Spark-"+arg, r.Rows, true))
+			}
+		} else if *csvOut {
+			for _, w := range experiments.SparkWorkloads() {
+				fmt.Print(metrics.CSVBreakdown(experiments.Fig6Spark(w).Rows))
+			}
+		} else {
+			fmt.Print(experiments.Fig6SparkAll())
+		}
+	case "fig6-giraph":
+		if arg != "" {
+			r := experiments.Fig6Giraph(arg)
+			if *csvOut {
+				fmt.Print(metrics.CSVBreakdown(r.Rows))
+			} else {
+				fmt.Print(metrics.FormatBreakdown("Fig 6 Giraph-"+arg, r.Rows, true))
+			}
+		} else if *csvOut {
+			for _, w := range experiments.GiraphWorkloads() {
+				fmt.Print(metrics.CSVBreakdown(experiments.Fig6Giraph(w).Rows))
+			}
+		} else {
+			fmt.Print(experiments.Fig6GiraphAll())
+		}
+	case "fig7":
+		r := experiments.Fig7()
+		if *csvOut {
+			fmt.Print(r.CSV())
+		} else {
+			fmt.Print(r.Format())
+		}
+	case "fig8":
+		fmt.Print(experiments.Fig8())
+	case "fig9a":
+		fmt.Print(experiments.Fig9a())
+	case "fig9b":
+		fmt.Print(experiments.Fig9b())
+	case "fig10":
+		fmt.Print(experiments.Fig10())
+	case "fig11a":
+		fmt.Print(experiments.Fig11a())
+	case "fig11b":
+		fmt.Print(experiments.Fig11b())
+	case "fig12a":
+		fmt.Print(experiments.Fig12a())
+	case "fig12b":
+		fmt.Print(experiments.Fig12b())
+	case "fig12c":
+		fmt.Print(experiments.Fig12c())
+	case "fig13a":
+		fmt.Print(experiments.Fig13a())
+	case "fig13b":
+		fmt.Print(experiments.Fig13b())
+	case "table5":
+		fmt.Print(experiments.Table5())
+	case "barrier":
+		fmt.Print(experiments.BarrierOverhead())
+	case "ablation-groups":
+		fmt.Print(experiments.AblationGroupMode())
+	case "ablation-striping":
+		fmt.Print(experiments.AblationStriping())
+	case "ablation-hugepages":
+		fmt.Print(experiments.AblationHugePages())
+	case "ablation-dynamic":
+		fmt.Print(experiments.AblationDynamicThresholds())
+	case "ablation-sizeseg":
+		fmt.Print(experiments.AblationSizeSegregation())
+	case "ablation-g1th":
+		fmt.Print(experiments.AblationG1TeraHeap())
+	case "all":
+		fmt.Print(experiments.Fig6SparkAll())
+		fmt.Print(experiments.Fig6GiraphAll())
+		fmt.Print(experiments.Fig7().Format())
+		fmt.Print(experiments.Fig8())
+		fmt.Print(experiments.Fig9a())
+		fmt.Print(experiments.Fig9b())
+		fmt.Print(experiments.Fig10())
+		fmt.Print(experiments.Fig11a())
+		fmt.Print(experiments.Fig11b())
+		fmt.Print(experiments.Fig12a())
+		fmt.Print(experiments.Fig12b())
+		fmt.Print(experiments.Fig12c())
+		fmt.Print(experiments.Fig13a())
+		fmt.Print(experiments.Fig13b())
+		fmt.Print(experiments.Table5())
+		fmt.Print(experiments.BarrierOverhead())
+		fmt.Print(experiments.AblationGroupMode())
+		fmt.Print(experiments.AblationStriping())
+		fmt.Print(experiments.AblationHugePages())
+		fmt.Print(experiments.AblationDynamicThresholds())
+		fmt.Print(experiments.AblationSizeSegregation())
+		fmt.Print(experiments.AblationG1TeraHeap())
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: teraheap-bench [-csv] <experiment> [workload]
+
+experiments:
+  fig6-spark [PR|CC|SSSP|SVD|TR|LR|LgR|SVM|BC|RL]
+  fig6-giraph [PR|CDLP|WCC|BFS|SSSP]
+  fig7 fig8 fig9a fig9b fig10 fig11a fig11b
+  fig12a fig12b fig12c fig13a fig13b
+  table5 barrier all
+  ablation-groups ablation-striping ablation-hugepages
+  ablation-dynamic ablation-sizeseg ablation-g1th`)
+}

@@ -1,0 +1,3 @@
+module github.com/carv-repro/teraheap-go
+
+go 1.22

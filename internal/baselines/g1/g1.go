@@ -1,0 +1,240 @@
+// Package g1 implements the Garbage-First collector baseline of Fig 8: a
+// region-based generational collector with young evacuation, concurrent
+// marking (charged at a concurrency discount), garbage-first mixed
+// collections that evacuate the old regions with the least live data, and
+// humongous objects allocated in contiguous region runs — one object per
+// run, with the resulting fragmentation and OOM behaviour the paper
+// reports for SVM, BC, and RL (§7.1).
+//
+// It implements rt.Runtime so the Spark simulation runs over it unchanged.
+package g1
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"github.com/carv-repro/teraheap-go/internal/gc"
+	"github.com/carv-repro/teraheap-go/internal/simclock"
+	"github.com/carv-repro/teraheap-go/internal/vm"
+)
+
+// regionKind classifies a heap region.
+type regionKind int
+
+const (
+	regFree regionKind = iota
+	regEden
+	regSurvivor
+	regOld
+	regHumongousStart
+	regHumongousCont
+)
+
+// Config sizes the G1 heap.
+type Config struct {
+	H1Size     int64
+	RegionSize int64 // 0 → H1Size/256, clamped to [4KB, 32MB]
+	// YoungTarget is the number of eden regions allocated before a young
+	// collection runs (0 → 1/4 of the regions).
+	YoungTarget int
+	// IHOP is the old-space occupancy fraction that starts concurrent
+	// marking (G1 default 0.45).
+	IHOP float64
+	// MixedLiveThreshold: old regions with a lower live fraction are
+	// eligible for mixed collections (G1's garbage-first policy).
+	MixedLiveThreshold float64
+	TenureAge          int
+	CardSize           int
+	// ConcurrencyDiscount scales marking cost (concurrent with mutator).
+	ConcurrencyDiscount float64
+	GCThreads           int
+	Costs               gc.CostParams
+}
+
+// DefaultConfig returns G1-like defaults for the heap size.
+func DefaultConfig(h1Size int64) Config {
+	rs := h1Size / 256
+	if rs < 4<<10 {
+		rs = 4 << 10
+	}
+	if rs > 32<<20 {
+		rs = 32 << 20
+	}
+	// Round to a power of two.
+	p := int64(1)
+	for p*2 <= rs {
+		p *= 2
+	}
+	return Config{
+		H1Size:              h1Size / p * p,
+		RegionSize:          p,
+		IHOP:                0.45,
+		MixedLiveThreshold:  0.65,
+		TenureAge:           3,
+		CardSize:            512,
+		ConcurrencyDiscount: 0.25,
+		GCThreads:           8,
+		Costs:               gc.DefaultCostParams(),
+	}
+}
+
+// region is one G1 heap region.
+type region struct {
+	id    int
+	kind  regionKind
+	start vm.Addr
+	end   vm.Addr
+	top   vm.Addr
+
+	liveBytes int64 // from the last marking cycle
+	// humRegions is the run length for a humongous start region.
+	humRegions int
+}
+
+func (r *region) used() int64 { return int64(r.top - r.start) }
+
+// G1 is the collector and runtime.
+type G1 struct {
+	cfg     Config
+	clock   *simclock.Clock
+	classes *vm.ClassTable
+	as      *vm.AddressSpace
+	mem     *vm.Mem
+	roots   *vm.RootSet
+
+	regions []*region
+	free    []int // free region ids (sorted)
+
+	eden     []int
+	survivor []int
+	old      []int
+	hum      []int // humongous start regions
+
+	curEden *region
+
+	cards     []byte // global card table: clean/dirty
+	cardsBase vm.Addr
+	// startArr maps each card to the first object starting in it (old and
+	// humongous regions only).
+	startArr    []vm.Addr
+	stats       gc.Stats
+	oom         *gc.OOMError
+	youngTarget int
+	// markCooldown counts young GCs to skip before the next concurrent
+	// marking cycle may start.
+	markCooldown int
+
+	// th is the optional second heap (TeraHeap-under-G1, §7.1); inert by
+	// default.
+	th gc.SecondHeap
+}
+
+var _ = fmt.Sprintf // keep fmt imported for panics below
+
+// debugG1 enables progress tracing for slow-run diagnosis.
+var debugG1 = os.Getenv("G1_DEBUG") != ""
+
+// New builds a G1 runtime.
+func New(cfg Config, classes *vm.ClassTable, clock *simclock.Clock) *G1 {
+	if clock == nil {
+		clock = simclock.New()
+	}
+	if classes == nil {
+		classes = vm.NewClassTable()
+	}
+	n := int(cfg.H1Size / cfg.RegionSize)
+	if n < 8 {
+		panic("g1: need at least 8 regions")
+	}
+	g := &G1{cfg: cfg, clock: clock, classes: classes, as: &vm.AddressSpace{}, roots: vm.NewRootSet(), th: gc.NoSecondHeap{}}
+	ram := vm.NewRAM(vm.H1Base, cfg.H1Size)
+	g.as.Map(vm.H1Base, vm.H1Base+vm.Addr(cfg.H1Size), ram)
+	g.mem = vm.NewMem(g.as, classes)
+	for i := 0; i < n; i++ {
+		start := vm.H1Base + vm.Addr(int64(i)*cfg.RegionSize)
+		g.regions = append(g.regions, &region{
+			id: i, kind: regFree, start: start, end: start + vm.Addr(cfg.RegionSize), top: start,
+		})
+		g.free = append(g.free, i)
+	}
+	g.cardsBase = vm.H1Base
+	g.cards = make([]byte, (cfg.H1Size+int64(cfg.CardSize)-1)/int64(cfg.CardSize))
+	g.youngTarget = cfg.YoungTarget
+	if g.youngTarget <= 0 {
+		g.youngTarget = n / 4
+		if g.youngTarget < 2 {
+			g.youngTarget = 2
+		}
+	}
+	return g
+}
+
+// regionOf returns the region containing a.
+func (g *G1) regionOf(a vm.Addr) *region {
+	i := int(int64(a-vm.H1Base) / g.cfg.RegionSize)
+	if i < 0 || i >= len(g.regions) {
+		return nil
+	}
+	return g.regions[i]
+}
+
+func (g *G1) takeFree(kind regionKind) *region {
+	if len(g.free) == 0 {
+		return nil
+	}
+	id := g.free[0]
+	g.free = g.free[1:]
+	r := g.regions[id]
+	r.kind = kind
+	r.top = r.start
+	switch kind {
+	case regEden:
+		g.eden = append(g.eden, id)
+	case regSurvivor:
+		g.survivor = append(g.survivor, id)
+	case regOld:
+		g.old = append(g.old, id)
+	}
+	return r
+}
+
+func (g *G1) releaseRegion(r *region) {
+	if r.kind == regFree {
+		panic(fmt.Sprintf("g1: double free of region %d", r.id))
+	}
+	r.kind = regFree
+	r.top = r.start
+	r.liveBytes = 0
+	r.humRegions = 0
+	g.free = append(g.free, r.id)
+	sort.Ints(g.free)
+}
+
+// inYoung reports whether a is in an eden or survivor region.
+func (g *G1) inYoung(a vm.Addr) bool {
+	r := g.regionOf(a)
+	return r != nil && (r.kind == regEden || r.kind == regSurvivor)
+}
+
+// humongousWords is the threshold above which an object is humongous.
+func (g *G1) humongousWords() int {
+	return int(g.cfg.RegionSize / 2 / vm.WordSize)
+}
+
+func (g *G1) chargeGC(cat simclock.Category, d time.Duration) {
+	g.clock.Charge(cat, d/time.Duration(g.cfg.GCThreads))
+}
+
+func (g *G1) markCard(a vm.Addr) {
+	g.cards[int64(a-g.cardsBase)/int64(g.cfg.CardSize)] = 1
+}
+
+// AddressSpace exposes the G1 heap's address space so a second heap can
+// be mapped into it.
+func (g *G1) AddressSpace() *vm.AddressSpace { return g.as }
+
+// AttachSecondHeap wires a TeraHeap into the collector (TeraHeap-under-
+// G1). Must be called before any allocation.
+func (g *G1) AttachSecondHeap(th gc.SecondHeap) { g.th = th }

@@ -1,0 +1,81 @@
+package core
+
+import "github.com/carv-repro/teraheap-go/internal/vm"
+
+// AnalyzeLiveRegions measures, for every region still holding objects, the
+// fraction of live objects and live space, appending a snapshot per region
+// to the stats. It is offline instrumentation for reproducing Fig 10 —
+// TeraHeap itself never scans H2 — so it reads raw words with no simulated
+// I/O cost.
+//
+// roots must contain every H1→H2 forward reference plus every rooted
+// handle pointing into H2; liveness then propagates across H2-internal
+// references.
+func (th *TeraHeap) AnalyzeLiveRegions(roots []vm.Addr) {
+	live := make(map[vm.Addr]bool)
+	stack := make([]vm.Addr, 0, len(roots))
+	for _, a := range roots {
+		if th.Contains(a) {
+			stack = append(stack, a)
+		}
+	}
+	for len(stack) > 0 {
+		a := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if live[a] {
+			continue
+		}
+		live[a] = true
+		nrefs := th.peekNumRefs(a)
+		for i := 0; i < nrefs; i++ {
+			t := th.peekRef(a, i)
+			if !t.IsNull() && th.Contains(t) && !live[t] {
+				stack = append(stack, t)
+			}
+		}
+	}
+
+	for _, r := range th.regions {
+		if r == nil || r.empty() {
+			continue
+		}
+		var liveObjs, totalObjs int64
+		var liveBytes int64
+		for a := r.start; a < r.top; {
+			size := th.peekSizeWords(a)
+			totalObjs++
+			if live[a] {
+				liveObjs++
+				liveBytes += int64(size) * vm.WordSize
+			}
+			a += vm.Addr(size * vm.WordSize)
+		}
+		snap := RegionSnapshot{RegionID: r.id}
+		if totalObjs > 0 {
+			snap.LiveObjectsPct = 100 * float64(liveObjs) / float64(totalObjs)
+		}
+		if used := r.used(); used > 0 {
+			snap.LiveSpacePct = 100 * float64(liveBytes) / float64(used)
+		}
+		snap.UnusedPct = 100 * float64(int64(r.end-r.top)) / float64(int64(r.end-r.start))
+		th.stats.RegionSnapshots = append(th.stats.RegionSnapshots, snap)
+	}
+}
+
+// peek helpers read H2 words without charging simulated I/O.
+
+func (th *TeraHeap) peekWord(a vm.Addr) uint64 {
+	return th.mapped.PeekWord(a.Word(vm.H2Base))
+}
+
+func (th *TeraHeap) peekSizeWords(a vm.Addr) int {
+	return int(uint32(th.peekWord(a + vm.WordSize)))
+}
+
+func (th *TeraHeap) peekNumRefs(a vm.Addr) int {
+	return int(th.peekWord(a+vm.WordSize) >> 32)
+}
+
+func (th *TeraHeap) peekRef(a vm.Addr, i int) vm.Addr {
+	return vm.Addr(th.peekWord(a + vm.Addr((vm.HeaderWords+i)*vm.WordSize)))
+}

@@ -1,0 +1,347 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/carv-repro/teraheap-go/internal/vm"
+)
+
+// region is one fixed-size H2 region plus its DRAM-resident metadata
+// (Figure 2): allocation pointers, the live bit, the dependency list, and
+// the promotion buffer.
+type region struct {
+	id    int
+	start vm.Addr
+	end   vm.Addr
+	top   vm.Addr
+
+	label     uint64
+	live      bool
+	groupLive bool // Union-Find mode: liveness of the group root
+	parent    int  // Union-Find parent
+
+	// deps lists region ids this region's objects reference (§3.3).
+	deps map[int]struct{}
+
+	// segFirst records the first object starting in each card segment of
+	// the region, enabling segment-granularity backward-reference scans.
+	segFirst []vm.Addr
+
+	objects int64
+
+	buf promoBuffer
+}
+
+func (r *region) used() int64 { return int64(r.top - r.start) }
+func (r *region) empty() bool { return r.top == r.start }
+
+// promoBuffer stages object images bound for this region until a batched
+// asynchronous flush (the paper's 2 MB promotion buffer, §3.2).
+type promoBuffer struct {
+	writes       []stagedWrite
+	pendingBytes int64
+}
+
+type stagedWrite struct {
+	word int64
+	data []uint64
+}
+
+// regionOf returns the region containing a, or nil.
+func (th *TeraHeap) regionOf(a vm.Addr) *region {
+	if !th.Contains(a) {
+		return nil
+	}
+	i := int(int64(a-vm.H2Base) / th.cfg.RegionSize)
+	if i >= len(th.regions) {
+		return nil
+	}
+	return th.regions[i]
+}
+
+// segmentOf returns the global card-segment index of a.
+func (th *TeraHeap) segmentOf(a vm.Addr) int {
+	return int(int64(a-vm.H2Base) / th.cfg.CardSegmentSize)
+}
+
+// segmentsPerRegion returns the number of card segments in one region.
+func (th *TeraHeap) segmentsPerRegion() int {
+	return int(th.cfg.RegionSize / th.cfg.CardSegmentSize)
+}
+
+// PrepareMove reserves sizeWords of space in a region labelled label.
+// With size-segregated placement enabled, big objects use a separate
+// region chain for the label.
+func (th *TeraHeap) PrepareMove(label uint64, sizeWords int) (vm.Addr, bool) {
+	need := vm.Addr(sizeWords * vm.WordSize)
+	if int64(need) > th.cfg.RegionSize {
+		// Objects never span regions (§3.4).
+		return vm.NullAddr, false
+	}
+	label = th.placementLabel(label, sizeWords)
+	r := th.openRegion(label, need)
+	if r == nil {
+		return vm.NullAddr, false
+	}
+	a := r.top
+	r.top += need
+	r.objects++
+	seg := int(int64(a-r.start) / th.cfg.CardSegmentSize)
+	if r.segFirst[seg].IsNull() {
+		r.segFirst[seg] = a
+	}
+	if th.reserved == nil {
+		th.reserved = make(map[vm.Addr]int)
+	}
+	th.reserved[a] = sizeWords
+	th.stats.ObjectsMoved++
+	th.stats.BytesMoved += int64(need)
+	return a, true
+}
+
+// openRegion returns a region labelled label with room for need bytes,
+// opening a new one if necessary.
+func (th *TeraHeap) openRegion(label uint64, need vm.Addr) *region {
+	if id, ok := th.openByLabel[label]; ok {
+		r := th.regions[id]
+		if r.top+need <= r.end {
+			return r
+		}
+	}
+	r := th.allocRegion()
+	if r == nil {
+		return nil
+	}
+	r.label = label
+	r.live = true // protect the receiving region for this cycle
+	th.openByLabel[label] = r.id
+	return r
+}
+
+// allocRegion takes a region from the free list or extends the region
+// array while H2 capacity remains.
+func (th *TeraHeap) allocRegion() *region {
+	if n := len(th.freeRegions); n > 0 {
+		id := th.freeRegions[n-1]
+		th.freeRegions = th.freeRegions[:n-1]
+		th.stats.RegionsAllocated++
+		return th.regions[id]
+	}
+	if int64(len(th.regions))*th.cfg.RegionSize >= th.cfg.H2Size {
+		return nil
+	}
+	id := len(th.regions)
+	start := vm.H2Base + vm.Addr(int64(id)*th.cfg.RegionSize)
+	r := &region{
+		id:       id,
+		start:    start,
+		end:      start + vm.Addr(th.cfg.RegionSize),
+		top:      start,
+		parent:   id,
+		deps:     make(map[int]struct{}),
+		segFirst: make([]vm.Addr, th.segmentsPerRegion()),
+	}
+	th.regions = append(th.regions, r)
+	th.stats.RegionsAllocated++
+	return r
+}
+
+// CommitMove stages the adjusted object image at dst.
+func (th *TeraHeap) CommitMove(dst vm.Addr, image []uint64) {
+	r := th.regionOf(dst)
+	if r == nil {
+		panic(fmt.Sprintf("core: CommitMove outside H2 (%v)", dst))
+	}
+	if want, ok := th.reserved[dst]; !ok {
+		panic(fmt.Sprintf("core: CommitMove to unreserved %v (%d words)", dst, len(image)))
+	} else if want != len(image) {
+		panic(fmt.Sprintf("core: CommitMove size mismatch at %v: reserved %d, image %d", dst, want, len(image)))
+	}
+	delete(th.reserved, dst)
+	r.buf.writes = append(r.buf.writes, stagedWrite{word: dst.Word(vm.H2Base), data: image})
+	r.buf.pendingBytes += int64(len(image)) * vm.WordSize
+	if r.buf.pendingBytes >= th.cfg.PromotionBufferBytes {
+		th.flushRegion(r)
+	}
+}
+
+func (th *TeraHeap) flushRegion(r *region) {
+	if r.buf.pendingBytes == 0 {
+		return
+	}
+	for _, w := range r.buf.writes {
+		th.mapped.StageWords(w.word, w.data)
+	}
+	th.mapped.ChargeAsyncWrite(r.buf.pendingBytes)
+	th.stats.BufferFlushes++
+	r.buf.writes = r.buf.writes[:0]
+	r.buf.pendingBytes = 0
+}
+
+// FlushBuffers drains every promotion buffer.
+func (th *TeraHeap) FlushBuffers() {
+	for _, r := range th.regions {
+		if r != nil {
+			th.flushRegion(r)
+		}
+	}
+}
+
+// NoteCrossRegionRef records a reference between H2 objects in different
+// regions: a dependency-list edge, or a group merge in Union-Find mode.
+func (th *TeraHeap) NoteCrossRegionRef(fromObj, toObj vm.Addr) {
+	rf, rt := th.regionOf(fromObj), th.regionOf(toObj)
+	if rf == nil || rt == nil || rf == rt {
+		return
+	}
+	th.stats.CrossRegionRefs++
+	if th.cfg.GroupMode == UnionFind {
+		th.union(rf.id, rt.id)
+		return
+	}
+	if _, ok := rf.deps[rt.id]; !ok {
+		rf.deps[rt.id] = struct{}{}
+		th.stats.DepNodes++
+	}
+}
+
+// NoteBackwardRef records an H2→H1 reference held by the object at h2obj
+// by raising the card state of its segment.
+func (th *TeraHeap) NoteBackwardRef(h2obj vm.Addr, youngTarget bool) {
+	st := cardOldGen
+	if youngTarget {
+		st = cardYoungGen
+	}
+	th.cards.raise(th.segmentOf(h2obj), st)
+}
+
+// --- Union-Find (§3.3 alternative) -------------------------------------------
+
+func (th *TeraHeap) find(i int) int {
+	for th.regions[i].parent != i {
+		th.regions[i].parent = th.regions[th.regions[i].parent].parent
+		i = th.regions[i].parent
+	}
+	return i
+}
+
+func (th *TeraHeap) union(a, b int) {
+	ra, rb := th.find(a), th.find(b)
+	if ra != rb {
+		th.regions[rb].parent = ra
+		// Liveness of either group survives the merge.
+		if th.regions[rb].groupLive {
+			th.regions[ra].groupLive = true
+		}
+	}
+}
+
+// --- Lazy bulk reclamation (§3.3) --------------------------------------------
+
+// freeDeadRegions reclaims every region not reachable from a live region
+// seed: regions referenced from H1 this cycle (live bit), propagated along
+// dependency edges. In Union-Find mode a region survives iff its group's
+// root is live.
+func (th *TeraHeap) freeDeadRegions() {
+	if th.cfg.GroupMode == UnionFind {
+		for _, r := range th.regions {
+			if r == nil || r.empty() {
+				continue
+			}
+			// r.live protects regions that received objects this cycle.
+			if !r.live && !th.regions[th.find(r.id)].groupLive {
+				th.freeRegion(r)
+			}
+		}
+		// Reset parents of freed regions (whole groups die together).
+		for _, r := range th.regions {
+			if r != nil && r.empty() {
+				r.parent = r.id
+			}
+		}
+		return
+	}
+
+	// Propagate liveness along dependency edges.
+	var stack []int
+	reached := make(map[int]bool)
+	for _, r := range th.regions {
+		if r != nil && r.live && !r.empty() {
+			stack = append(stack, r.id)
+			reached[r.id] = true
+		}
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for dep := range th.regions[id].deps {
+			if !reached[dep] {
+				reached[dep] = true
+				stack = append(stack, dep)
+			}
+		}
+	}
+	for _, r := range th.regions {
+		if r == nil || r.empty() {
+			continue
+		}
+		if !reached[r.id] {
+			th.freeRegion(r)
+		}
+	}
+}
+
+// freeRegion reclaims a whole region in bulk: reset the allocation
+// pointer, delete the dependency list, drop its page-cache pages, and
+// clear its card segments. No object is ever compacted on the device.
+func (th *TeraHeap) freeRegion(r *region) {
+	th.stats.RegionsReclaimed++
+	th.stats.BytesReclaimed += r.used()
+	th.stats.RegionSnapshots = append(th.stats.RegionSnapshots, RegionSnapshot{
+		RegionID: r.id, Reclaimed: true, LiveObjectsPct: 0, LiveSpacePct: 0,
+	})
+	if id, ok := th.openByLabel[r.label]; ok && id == r.id {
+		delete(th.openByLabel, r.label)
+	}
+	th.mapped.InvalidateWords(r.start.Word(vm.H2Base), r.used()/vm.WordSize)
+	th.mapped.ZeroWords(r.start.Word(vm.H2Base), r.used()/vm.WordSize)
+	firstSeg := th.segmentOf(r.start)
+	for i := 0; i < th.segmentsPerRegion(); i++ {
+		th.cards.set(firstSeg+i, cardClean)
+	}
+	for i := range r.segFirst {
+		r.segFirst[i] = vm.NullAddr
+	}
+	th.stats.DepNodes -= int64(len(r.deps))
+	r.top = r.start
+	r.label = 0
+	r.live = false
+	r.groupLive = false
+	r.objects = 0
+	r.deps = make(map[int]struct{})
+	r.buf.writes = r.buf.writes[:0]
+	r.buf.pendingBytes = 0
+	th.freeRegions = append(th.freeRegions, r.id)
+}
+
+// UsedBytes returns the bytes currently allocated in H2.
+func (th *TeraHeap) UsedBytes() int64 {
+	var t int64
+	for _, r := range th.regions {
+		if r != nil {
+			t += r.used()
+		}
+	}
+	return t
+}
+
+// ActiveRegions returns the number of regions currently holding objects.
+func (th *TeraHeap) ActiveRegions() int {
+	n := 0
+	for _, r := range th.regions {
+		if r != nil && !r.empty() {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,348 @@
+// Package core implements TeraHeap, the paper's primary contribution: a
+// second, high-capacity managed heap (H2) memory-mapped over a fast
+// storage device that coexists with the regular DRAM heap (H1).
+//
+// TeraHeap eliminates serialization/deserialization by giving the runtime
+// direct access to H2 objects, and eliminates GC scans over H2 by
+//
+//   - a hint-based interface (TagRoot / Move) based on key-object
+//     opportunism (§3.2),
+//   - a region-based H2 organized by object lifetime with lazy bulk
+//     reclamation, dependency lists for cross-region references, and an
+//     optional Union-Find region-group mode (§3.3),
+//   - a four-state card table, organized in slices and stripes aligned to
+//     regions, tracking backward (H2→H1) references (§3.4),
+//   - high/low occupancy thresholds that force movement under memory
+//     pressure before a move hint arrives (§3.2), and
+//   - per-region 2 MB promotion buffers writing objects to the device with
+//     batched asynchronous I/O (§3.2).
+//
+// It plugs into the Parallel Scavenge collector through gc.SecondHeap.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/carv-repro/teraheap-go/internal/gc"
+	"github.com/carv-repro/teraheap-go/internal/simclock"
+	"github.com/carv-repro/teraheap-go/internal/storage"
+	"github.com/carv-repro/teraheap-go/internal/vm"
+)
+
+// GroupMode selects how cross-region references are tracked (§3.3).
+type GroupMode int
+
+// Cross-region tracking modes.
+const (
+	// DependencyLists tracks the direction of cross-region references in
+	// per-region dependency lists (the paper's chosen design).
+	DependencyLists GroupMode = iota
+	// UnionFind merges referencing regions into groups, losing direction
+	// (the simpler alternative the paper evaluates and rejects).
+	UnionFind
+)
+
+// Config configures an H2 instance.
+type Config struct {
+	// H2Size is the capacity of the second heap in bytes.
+	H2Size int64
+	// RegionSize is the fixed region size in bytes.
+	RegionSize int64
+	// CardSegmentSize is the H2 card segment size in bytes.
+	CardSegmentSize int64
+	// HighThreshold is the H1 old-generation occupancy above which marked
+	// objects are moved without waiting for a move hint (paper: 0.85).
+	HighThreshold float64
+	// LowThreshold, when >0, bounds forced movement: enough labels move to
+	// bring H1 occupancy down to this fraction (paper experiment: 0.5).
+	LowThreshold float64
+	// EnableMoveHint honours h2_move; when false only the threshold
+	// mechanism moves objects (the paper's "NH" configuration, Fig 9a).
+	EnableMoveHint bool
+	// GroupMode selects dependency lists or Union-Find groups.
+	GroupMode GroupMode
+	// PromotionBufferBytes is the per-region staging buffer (paper: 2 MB).
+	PromotionBufferBytes int64
+	// PageSize for the H2 mapping (4 KB, or 2 MB huge pages for the Spark
+	// ML workloads).
+	PageSize int
+	// CacheBytes is the DRAM page-cache budget for H2 (the DR2 share).
+	CacheBytes int64
+	// GCThreads parallelize card scanning CPU cost.
+	GCThreads int
+	// CardScanCost and ObjScanCost price card-table work.
+	CardScanCost time.Duration
+	ObjScanCost  time.Duration
+
+	// Ext enables the future-work extensions (dynamic thresholds,
+	// size-segregated placement); zero value disables both.
+	Ext Extensions
+}
+
+// DefaultConfig returns a TeraHeap configuration for an H2 of h2Size bytes
+// on the given device-independent defaults.
+func DefaultConfig(h2Size int64) Config {
+	return Config{
+		H2Size:               h2Size,
+		RegionSize:           16 * storage.KB * 1024, // 16 MB
+		CardSegmentSize:      4 * storage.KB,
+		HighThreshold:        0.85,
+		LowThreshold:         0.50,
+		EnableMoveHint:       true,
+		GroupMode:            DependencyLists,
+		PromotionBufferBytes: 2 * storage.MB,
+		PageSize:             storage.DefaultPageSize,
+		CacheBytes:           0,
+		GCThreads:            16,
+		CardScanCost:         2 * time.Nanosecond,
+		ObjScanCost:          10 * time.Nanosecond,
+	}
+}
+
+// TeraHeap is the second heap. It implements gc.SecondHeap.
+type TeraHeap struct {
+	cfg    Config
+	clock  *simclock.Clock
+	mapped *storage.MappedFile
+	mem    *vm.Mem // object accessors; set by AttachMem after wiring
+
+	regions     []*region
+	freeRegions []int
+	openByLabel map[uint64]int
+
+	cards *cardTable
+
+	tagged      []gc.TaggedRoot
+	moveAdvised map[uint64]bool
+
+	// Threshold policy state.
+	forceMove    bool
+	pressureLive int64 // live-byte estimate backing the current arming
+	pressureCap  int64 // old-generation capacity at arming time
+
+	// reserved tracks PrepareMove reservations until their CommitMove
+	// (consistency checking).
+	reserved map[vm.Addr]int
+
+	// Dynamic-threshold controller state.
+	consecTrips int
+	calmCycles  int
+
+	stats Stats
+}
+
+// mappedMemory adapts a MappedFile to vm.Memory at vm.H2Base.
+type mappedMemory struct {
+	f *storage.MappedFile
+}
+
+func (m mappedMemory) Load(a vm.Addr) uint64     { return m.f.Load(a.Word(vm.H2Base)) }
+func (m mappedMemory) Store(a vm.Addr, v uint64) { m.f.Store(a.Word(vm.H2Base), v) }
+
+// New builds a TeraHeap over dev and maps H2 into as at vm.H2Base.
+func New(cfg Config, dev *storage.Device, as *vm.AddressSpace, clock *simclock.Clock) *TeraHeap {
+	if cfg.RegionSize <= 0 || cfg.H2Size < cfg.RegionSize {
+		panic(fmt.Sprintf("core: bad H2 geometry (size %d, region %d)", cfg.H2Size, cfg.RegionSize))
+	}
+	if cfg.CardSegmentSize <= 0 {
+		panic("core: non-positive card segment size")
+	}
+	if cfg.GCThreads < 1 {
+		cfg.GCThreads = 1
+	}
+	// Objects must not span regions, so region size bounds object size;
+	// cap H2Size to a whole number of regions.
+	numRegions := cfg.H2Size / cfg.RegionSize
+	cfg.H2Size = numRegions * cfg.RegionSize
+
+	th := &TeraHeap{
+		cfg:         cfg,
+		clock:       clock,
+		mapped:      storage.NewMappedFile(dev, cfg.H2Size, cfg.PageSize, cfg.CacheBytes),
+		openByLabel: make(map[uint64]int),
+		moveAdvised: make(map[uint64]bool),
+	}
+	as.Map(vm.H2Base, vm.H2Base+vm.Addr(cfg.H2Size), mappedMemory{f: th.mapped})
+	th.cards = newCardTable(cfg, int(numRegions))
+	return th
+}
+
+// AttachMem wires the object accessors (built after the collector) into
+// the card-table scanner.
+func (th *TeraHeap) AttachMem(m *vm.Mem) { th.mem = m }
+
+// Mapped exposes the underlying mapping (examples, tests, experiments).
+func (th *TeraHeap) Mapped() *storage.MappedFile { return th.mapped }
+
+// Config returns the active configuration.
+func (th *TeraHeap) Config() Config { return th.cfg }
+
+// --- Hint interface (§3.2) -------------------------------------------------
+
+// TagRoot tags the root key-object held by h with a label, marking it (and
+// later its transitive closure) as a candidate for H2 placement. This is
+// the h2_tag_root(obj, label) call of the paper.
+func (th *TeraHeap) TagRoot(h *vm.Handle, label uint64) {
+	if label == 0 {
+		panic("core: label 0 is reserved for untagged objects")
+	}
+	a := h.Addr()
+	if a.IsNull() || vm.InH2(a) {
+		return
+	}
+	th.mem.SetLabel(a, label)
+	th.tagged = append(th.tagged, gc.TaggedRoot{Handle: h, Label: label})
+	th.stats.RootsTagged++
+	th.clock.Charge(simclock.Other, 50*time.Nanosecond) // native call
+}
+
+// Move advises TeraHeap to move all objects tagged with label to H2 during
+// the next major GC. This is the h2_move(label) call of the paper. When
+// move hints are disabled (Fig 9a's NH configuration) the call is a no-op
+// and movement relies on the threshold mechanism alone.
+func (th *TeraHeap) Move(label uint64) {
+	th.clock.Charge(simclock.Other, 50*time.Nanosecond)
+	if !th.cfg.EnableMoveHint {
+		return
+	}
+	th.moveAdvised[label] = true
+	th.stats.MoveHints++
+}
+
+// --- gc.SecondHeap: mutator-side --------------------------------------------
+
+// Contains is the reference range check.
+func (th *TeraHeap) Contains(a vm.Addr) bool {
+	return a >= vm.H2Base && a < vm.H2Base+vm.Addr(th.cfg.H2Size)
+}
+
+// DirtyCard marks the card of an updated H2 object dirty (post-write
+// barrier).
+func (th *TeraHeap) DirtyCard(a vm.Addr) {
+	th.cards.set(th.segmentOf(a), cardDirty)
+}
+
+// --- gc.SecondHeap: movement -------------------------------------------------
+
+// MoveOnMinor reports whether label's objects promote straight from the
+// young generation to H2 (the label's move hint has been issued; forced
+// movement under pressure runs through the major-GC closure instead,
+// where advised groups go first and the budget applies).
+func (th *TeraHeap) MoveOnMinor(label uint64) bool {
+	return th.cfg.EnableMoveHint && th.moveAdvised[label]
+}
+
+// Advised reports whether label's move hint was issued.
+func (th *TeraHeap) Advised(label uint64) bool {
+	return th.cfg.EnableMoveHint && th.moveAdvised[label]
+}
+
+// ShouldMoveLabel implements the hint + high/low threshold policy: an
+// advised label always moves; under pressure, unadvised (possibly still
+// mutable) labels move only while the projected H1 live volume remains
+// above the relief target — the low threshold when set, otherwise the
+// high threshold.
+func (th *TeraHeap) ShouldMoveLabel(label uint64, selectedWords int64) bool {
+	if th.cfg.EnableMoveHint && th.moveAdvised[label] {
+		return true
+	}
+	if !th.forceMove {
+		return false
+	}
+	if th.cfg.LowThreshold <= 0 {
+		// No low threshold: every marked object moves (§3.2 / Fig 9b NL).
+		return true
+	}
+	// Bounded forced movement: move until the projected live volume is
+	// back at the low threshold.
+	remaining := th.pressureLive - selectedWords*vm.WordSize
+	return float64(remaining) > th.cfg.LowThreshold*float64(th.pressureCap)
+}
+
+// ExcludeClass excludes runtime metadata and Reference-like classes from
+// transitive closures.
+func (th *TeraHeap) ExcludeClass(c *vm.Class) bool { return c.Excluded }
+
+// TaggedRoots returns live tagged roots, pruning entries whose key object
+// has already moved to H2 or been released.
+func (th *TeraHeap) TaggedRoots() []gc.TaggedRoot {
+	live := th.tagged[:0]
+	for _, tr := range th.tagged {
+		a := tr.Handle.Addr()
+		if a.IsNull() || th.Contains(a) {
+			continue
+		}
+		live = append(live, tr)
+	}
+	th.tagged = live
+	return th.tagged
+}
+
+// BeginMajorMark resets region live bits and disarms forced movement for
+// the cycle: the threshold decision is re-made by EvaluatePressure once
+// marking has measured the live volume that would REMAIN in H1 after the
+// advised (hinted) groups leave — so pressure that the hints already
+// relieve never forces still-mutable groups out (§3.2).
+func (th *TeraHeap) BeginMajorMark(oldUsedBytes, oldCapacity int64) {
+	for _, r := range th.regions {
+		if r != nil {
+			r.live = false
+			r.groupLive = false
+		}
+	}
+	th.forceMove = false
+	th.pressureLive = 0
+	th.pressureCap = 0
+	_ = oldUsedBytes
+	_ = oldCapacity
+}
+
+// EvaluatePressure implements gc.SecondHeap: re-arm the threshold policy
+// with the exact live volume measured by marking.
+func (th *TeraHeap) EvaluatePressure(liveBytes, oldCapacity int64) {
+	th.evaluateThreshold(liveBytes, oldCapacity)
+}
+
+// evaluateThreshold arms or disarms forced movement given H1 pressure.
+func (th *TeraHeap) evaluateThreshold(liveBytes, oldCapacity int64) {
+	occ := 0.0
+	if oldCapacity > 0 {
+		occ = float64(liveBytes) / float64(oldCapacity)
+	}
+	if occ > th.cfg.HighThreshold {
+		if !th.forceMove {
+			th.stats.HighThresholdTrips++
+		}
+		th.forceMove = true
+		th.pressureLive = liveBytes
+		th.pressureCap = oldCapacity
+	} else {
+		th.forceMove = false
+		th.pressureLive = 0
+		th.pressureCap = 0
+	}
+	th.adaptThresholds(th.forceMove)
+}
+
+// NoteForwardRef marks the region containing target live.
+func (th *TeraHeap) NoteForwardRef(target vm.Addr) {
+	r := th.regionOf(target)
+	if r == nil {
+		return
+	}
+	th.stats.ForwardRefs++
+	if th.cfg.GroupMode == UnionFind {
+		th.regions[th.find(r.id)].groupLive = true
+		return
+	}
+	r.live = true
+}
+
+// FinishMajor frees dead regions in bulk (§3.3). Threshold arming lives
+// entirely within the marking phase (EvaluatePressure).
+func (th *TeraHeap) FinishMajor(oldLiveBytes, oldCapacity int64) {
+	th.freeDeadRegions()
+	_ = oldLiveBytes
+	_ = oldCapacity
+}

@@ -1,0 +1,425 @@
+package core_test
+
+import (
+	"testing"
+
+	"github.com/carv-repro/teraheap-go/internal/core"
+	"github.com/carv-repro/teraheap-go/internal/rt"
+	"github.com/carv-repro/teraheap-go/internal/simclock"
+	"github.com/carv-repro/teraheap-go/internal/storage"
+	"github.com/carv-repro/teraheap-go/internal/vm"
+	"github.com/carv-repro/teraheap-go/internal/workloads"
+)
+
+type thEnv struct {
+	clock *simclock.Clock
+	jvm   *rt.JVM
+	node  *vm.Class
+	arr   *vm.Class
+	meta  *vm.Class // excluded class
+}
+
+func newTHEnv(t *testing.T, h1Size int64, mutate func(*core.Config)) *thEnv {
+	t.Helper()
+	clock := simclock.New()
+	classes := vm.NewClassTable()
+	e := &thEnv{
+		clock: clock,
+		node:  classes.MustFixed("Node", 2, 1),
+		arr:   classes.MustRefArray("Object[]"),
+	}
+	e.meta = classes.Register(&vm.Class{Name: "jvm.Class", Kind: vm.KindFixed, NumRefs: 1, NumPrims: 1, Excluded: true})
+	cfg := core.DefaultConfig(64 * storage.MB)
+	cfg.RegionSize = 64 * storage.KB
+	cfg.CardSegmentSize = 4 * storage.KB
+	cfg.CacheBytes = 1 * storage.MB
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	e.jvm = rt.NewJVM(rt.Options{H1Size: h1Size, TH: &cfg}, classes, clock)
+	return e
+}
+
+func (e *thEnv) allocNode(t *testing.T, left, right vm.Addr, v uint64) vm.Addr {
+	t.Helper()
+	a, err := e.jvm.Alloc(e.node)
+	if err != nil {
+		t.Fatalf("alloc: %v", err)
+	}
+	e.jvm.WriteRef(a, 0, left)
+	e.jvm.WriteRef(a, 1, right)
+	e.jvm.WritePrim(a, 0, v)
+	return a
+}
+
+// buildPartition builds an array of n nodes under a rooted handle —
+// the shape of a cached Spark partition (single-entry root, §3.1).
+func (e *thEnv) buildPartition(t *testing.T, n int) *vm.Handle {
+	t.Helper()
+	arr, err := e.jvm.AllocRefArray(e.arr, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := e.jvm.NewHandle(arr)
+	for i := 0; i < n; i++ {
+		nd := e.allocNode(t, vm.NullAddr, vm.NullAddr, uint64(i))
+		e.jvm.WriteRef(h.Addr(), i, nd)
+	}
+	return h
+}
+
+func (e *thEnv) checkPartition(t *testing.T, h *vm.Handle, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		nd := e.jvm.ReadRef(h.Addr(), i)
+		if nd.IsNull() {
+			t.Fatalf("partition element %d lost", i)
+		}
+		if v := e.jvm.ReadPrim(nd, 0); v != uint64(i) {
+			t.Fatalf("element %d = %d", i, v)
+		}
+	}
+}
+
+func TestTagAndMoveToH2(t *testing.T) {
+	e := newTHEnv(t, 1<<20, nil)
+	h := e.buildPartition(t, 64)
+	e.jvm.TagRoot(h, 7)
+	e.jvm.MoveHint(7)
+	if err := e.jvm.FullGC(); err != nil {
+		t.Fatalf("major GC: %v", err)
+	}
+	if !e.jvm.InSecondHeap(h.Addr()) {
+		t.Fatalf("root not moved to H2: %v", h.Addr())
+	}
+	// Direct access to H2 objects — no deserialization.
+	e.checkPartition(t, h, 64)
+	st := e.jvm.TeraHeap().Stats()
+	if st.ObjectsMoved < 65 {
+		t.Fatalf("objects moved = %d, want >= 65", st.ObjectsMoved)
+	}
+	// The transitive closure went with the root.
+	if e.jvm.InSecondHeap(e.jvm.ReadRef(h.Addr(), 0)) == false {
+		t.Fatal("closure element not moved to H2")
+	}
+}
+
+func TestNoMoveWithoutHintOrPressure(t *testing.T) {
+	e := newTHEnv(t, 1<<20, nil)
+	h := e.buildPartition(t, 64)
+	e.jvm.TagRoot(h, 7)
+	if err := e.jvm.FullGC(); err != nil {
+		t.Fatal(err)
+	}
+	if e.jvm.InSecondHeap(h.Addr()) {
+		t.Fatal("moved to H2 without h2_move and without pressure")
+	}
+}
+
+func TestExcludedClassStaysInH1(t *testing.T) {
+	e := newTHEnv(t, 1<<20, nil)
+	// Partition whose element 0 references a jvm.Class metadata object.
+	h := e.buildPartition(t, 8)
+	meta, err := e.jvm.Alloc(e.meta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	el0 := e.jvm.ReadRef(h.Addr(), 0)
+	e.jvm.WriteRef(el0, 1, meta)
+	e.jvm.TagRoot(h, 3)
+	e.jvm.MoveHint(3)
+	if err := e.jvm.FullGC(); err != nil {
+		t.Fatal(err)
+	}
+	el0 = e.jvm.ReadRef(h.Addr(), 0)
+	if !e.jvm.InSecondHeap(el0) {
+		t.Fatal("element 0 not in H2")
+	}
+	metaNow := e.jvm.ReadRef(el0, 1)
+	if e.jvm.InSecondHeap(metaNow) {
+		t.Fatal("excluded metadata class moved to H2")
+	}
+	if v := e.jvm.ReadPrim(metaNow, 0); v != 0 {
+		t.Fatalf("metadata corrupted: %d", v)
+	}
+}
+
+func TestBackwardRefsSurviveGC(t *testing.T) {
+	e := newTHEnv(t, 1<<20, nil)
+	h := e.buildPartition(t, 16)
+	e.jvm.TagRoot(h, 5)
+	e.jvm.MoveHint(5)
+	if err := e.jvm.FullGC(); err != nil {
+		t.Fatal(err)
+	}
+	// Mutate an H2 object to reference a fresh H1 (young) object: the
+	// post-write barrier must dirty the H2 card so minor GC keeps the
+	// young target alive and adjusts the reference.
+	el := e.jvm.ReadRef(h.Addr(), 3)
+	young := e.allocNode(t, vm.NullAddr, vm.NullAddr, 4242)
+	e.jvm.WriteRef(el, 0, young)
+	if err := e.jvm.Collector().MinorGC(); err != nil {
+		t.Fatal(err)
+	}
+	back := e.jvm.ReadRef(el, 0)
+	if back.IsNull() || e.jvm.InSecondHeap(back) {
+		t.Fatalf("backward target wrong: %v", back)
+	}
+	if v := e.jvm.ReadPrim(back, 0); v != 4242 {
+		t.Fatalf("backward target value = %d", v)
+	}
+	// And across a major GC (the H1 target moves during compaction).
+	if err := e.jvm.FullGC(); err != nil {
+		t.Fatal(err)
+	}
+	back = e.jvm.ReadRef(el, 0)
+	if v := e.jvm.ReadPrim(back, 0); v != 4242 {
+		t.Fatalf("after major GC, backward target value = %d", v)
+	}
+}
+
+func TestRegionReclamation(t *testing.T) {
+	e := newTHEnv(t, 1<<20, nil)
+	h := e.buildPartition(t, 128)
+	e.jvm.TagRoot(h, 9)
+	e.jvm.MoveHint(9)
+	if err := e.jvm.FullGC(); err != nil {
+		t.Fatal(err)
+	}
+	th := e.jvm.TeraHeap()
+	if th.ActiveRegions() == 0 {
+		t.Fatal("no active regions after move")
+	}
+	used := th.UsedBytes()
+	if used == 0 {
+		t.Fatal("H2 unused after move")
+	}
+	// Drop the only reference and collect: the regions die in bulk.
+	e.jvm.Release(h)
+	if err := e.jvm.FullGC(); err != nil {
+		t.Fatal(err)
+	}
+	if th.UsedBytes() != 0 {
+		t.Fatalf("H2 still holds %d bytes after reclamation", th.UsedBytes())
+	}
+	if th.Stats().RegionsReclaimed == 0 {
+		t.Fatal("no regions reclaimed")
+	}
+}
+
+func TestHighThresholdForcesMove(t *testing.T) {
+	e := newTHEnv(t, 1<<19, func(c *core.Config) {
+		c.HighThreshold = 0.25 // trip early
+		c.LowThreshold = 0     // move all marked objects when tripped
+	})
+	h := e.buildPartition(t, 1800)
+	e.jvm.TagRoot(h, 2)
+	// NO MoveHint: rely on the threshold mechanism.
+	// First major GC observes occupancy and arms forced movement; the
+	// second moves the marked closure.
+	if err := e.jvm.FullGC(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.jvm.FullGC(); err != nil {
+		t.Fatal(err)
+	}
+	if !e.jvm.InSecondHeap(h.Addr()) {
+		t.Fatal("high threshold did not force movement")
+	}
+	if e.jvm.TeraHeap().Stats().HighThresholdTrips == 0 {
+		t.Fatal("threshold trip not recorded")
+	}
+}
+
+func TestDependencyListsBeatUnionFind(t *testing.T) {
+	// Build the paper's X -> Y -> Z example (§3.3): after dropping X and
+	// Y's external references, dependency lists reclaim X and Y while
+	// Z (still referenced from H1) survives; Union-Find groups keep all
+	// three alive.
+	run := func(mode core.GroupMode) (reclaimed int64) {
+		e := newTHEnv(t, 1<<20, func(c *core.Config) {
+			c.GroupMode = mode
+			c.RegionSize = 16 * storage.KB
+		})
+		// Three partitions with distinct labels → distinct regions.
+		hx := e.buildPartition(t, 48)
+		hy := e.buildPartition(t, 48)
+		hz := e.buildPartition(t, 48)
+		e.jvm.TagRoot(hx, 1)
+		e.jvm.TagRoot(hy, 2)
+		e.jvm.TagRoot(hz, 3)
+		e.jvm.MoveHint(1)
+		e.jvm.MoveHint(2)
+		e.jvm.MoveHint(3)
+		if err := e.jvm.FullGC(); err != nil {
+			t.Fatal(err)
+		}
+		// Wire X -> Y and Y -> Z inside H2.
+		e.jvm.WriteRef(e.jvm.ReadRef(hx.Addr(), 0), 0, hy.Addr())
+		e.jvm.WriteRef(e.jvm.ReadRef(hy.Addr(), 0), 0, hz.Addr())
+		// A minor GC records the new cross-region references via the
+		// dirty H2 cards... they are H2->H2, so record them through a
+		// major GC's card scan instead.
+		if err := e.jvm.FullGC(); err != nil {
+			t.Fatal(err)
+		}
+		// Drop X and Y roots; Z stays referenced.
+		e.jvm.Release(hx)
+		e.jvm.Release(hy)
+		if err := e.jvm.FullGC(); err != nil {
+			t.Fatal(err)
+		}
+		return e.jvm.TeraHeap().Stats().RegionsReclaimed
+	}
+	dep := run(core.DependencyLists)
+	uf := run(core.UnionFind)
+	if dep <= uf {
+		t.Fatalf("dependency lists reclaimed %d regions, union-find %d; want dep > uf", dep, uf)
+	}
+}
+
+func TestMinorDirectPromotionToH2(t *testing.T) {
+	e := newTHEnv(t, 1<<20, nil)
+	// Tag + move-advise, then allocate fresh young data under the same
+	// label root and trigger a minor GC: labelled objects promote
+	// straight to H2.
+	h := e.buildPartition(t, 32)
+	e.jvm.TagRoot(h, 11)
+	e.jvm.MoveHint(11)
+	if err := e.jvm.Collector().MinorGC(); err != nil {
+		t.Fatal(err)
+	}
+	if !e.jvm.InSecondHeap(h.Addr()) {
+		t.Fatal("tagged young root did not promote directly to H2")
+	}
+	e.checkPartition(t, h, 32)
+	// Elements went along (they are reachable only through the root).
+	if !e.jvm.InSecondHeap(e.jvm.ReadRef(h.Addr(), 0)) {
+		// Elements without labels stay in H1 as backward refs — also
+		// acceptable; verify they are alive either way.
+		el := e.jvm.ReadRef(h.Addr(), 0)
+		if v := e.jvm.ReadPrim(el, 0); v != 0 {
+			t.Fatalf("element 0 corrupted: %d", v)
+		}
+	}
+}
+
+func TestH2CardStatesAfterGC(t *testing.T) {
+	e := newTHEnv(t, 1<<20, nil)
+	h := e.buildPartition(t, 16)
+	e.jvm.TagRoot(h, 5)
+	e.jvm.MoveHint(5)
+	if err := e.jvm.FullGC(); err != nil {
+		t.Fatal(err)
+	}
+	// Create a backward ref and let both GCs process it.
+	el := e.jvm.ReadRef(h.Addr(), 0)
+	y := e.allocNode(t, vm.NullAddr, vm.NullAddr, 1)
+	e.jvm.WriteRef(el, 0, y)
+	yh := e.jvm.NewHandle(y)
+	if err := e.jvm.Collector().MinorGC(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.jvm.FullGC(); err != nil {
+		t.Fatal(err)
+	}
+	_ = yh
+	st := e.jvm.TeraHeap().Stats()
+	if st.MinorCardsScanned == 0 {
+		t.Fatal("minor GC scanned no H2 cards")
+	}
+	if v := e.jvm.ReadPrim(e.jvm.ReadRef(el, 0), 0); v != 1 {
+		t.Fatalf("backward ref target = %d", v)
+	}
+}
+
+func TestMetadataModel(t *testing.T) {
+	// Table 5 shape: metadata shrinks as regions grow; 1 MB regions cost
+	// hundreds of MB per TB, 256 MB regions only a few MB.
+	small := core.MetadataBytesPerTB(1 * storage.MB)
+	big := core.MetadataBytesPerTB(256 * storage.MB)
+	if small <= big {
+		t.Fatalf("metadata model inverted: %d <= %d", small, big)
+	}
+	if small < 100*storage.MB || small > 1024*storage.MB {
+		t.Fatalf("1MB-region metadata per TB out of range: %d", small)
+	}
+	if big > 8*storage.MB {
+		t.Fatalf("256MB-region metadata per TB too large: %d", big)
+	}
+}
+
+// TestRandomLifecycleDrainsH2 drives random tag/move/mutate/release
+// cycles and checks the terminal invariant: once every group is released,
+// H2 drains completely and every allocated region is eventually
+// reclaimed.
+func TestRandomLifecycleDrainsH2(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		e := newTHEnv(t, 1<<20, func(c *core.Config) {
+			c.RegionSize = 16 * storage.KB
+		})
+		rnd := workloads.NewRand(seed)
+		type group struct {
+			h     *vm.Handle
+			label uint64
+			n     int
+		}
+		var live []group
+		nextLabel := uint64(1)
+		for step := 0; step < 120; step++ {
+			switch rnd.Intn(5) {
+			case 0, 1: // new tagged group
+				n := 8 + rnd.Intn(64)
+				h := e.buildPartition(t, n)
+				e.jvm.TagRoot(h, nextLabel)
+				if rnd.Intn(2) == 0 {
+					e.jvm.MoveHint(nextLabel)
+				}
+				live = append(live, group{h: h, label: nextLabel, n: n})
+				nextLabel++
+			case 2: // mutate a group element (H1 or H2)
+				if len(live) > 0 {
+					g := live[rnd.Intn(len(live))]
+					el := e.jvm.ReadRef(g.h.Addr(), rnd.Intn(g.n))
+					if !el.IsNull() {
+						e.jvm.WritePrim(el, 0, rnd.Uint64())
+					}
+				}
+			case 3: // release a group
+				if len(live) > 0 {
+					i := rnd.Intn(len(live))
+					e.jvm.Release(live[i].h)
+					live = append(live[:i], live[i+1:]...)
+				}
+			case 4: // collect
+				if err := e.jvm.FullGC(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		// Groups still live must be intact (ids 0..n-1 in order is no
+		// longer true after mutations; check reachability only).
+		for _, g := range live {
+			for i := 0; i < g.n; i++ {
+				if e.jvm.ReadRef(g.h.Addr(), i).IsNull() {
+					t.Fatalf("seed %d: group element %d lost", seed, i)
+				}
+			}
+		}
+		// Terminal drain.
+		for _, g := range live {
+			e.jvm.Release(g.h)
+		}
+		if err := e.jvm.FullGC(); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.jvm.FullGC(); err != nil {
+			t.Fatal(err)
+		}
+		th := e.jvm.TeraHeap()
+		if th.UsedBytes() != 0 {
+			t.Fatalf("seed %d: H2 not drained: %d bytes in %d regions",
+				seed, th.UsedBytes(), th.ActiveRegions())
+		}
+	}
+}

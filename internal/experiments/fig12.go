@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"strings"
+
+	"github.com/carv-repro/teraheap-go/internal/metrics"
+	"github.com/carv-repro/teraheap-go/internal/storage"
+)
+
+// Fig12a compares Spark-SD and TeraHeap on the NVM server (Figure 12a):
+// the off-heap cache / H2 live on Optane in App Direct mode.
+func Fig12a() string {
+	var sb strings.Builder
+	for _, w := range SparkWorkloads() {
+		spec := sparkSpecs[w]
+		dram := spec.thDramGB[len(spec.thDramGB)-1]
+		sd := RunSpark(SparkRun{Workload: w, Runtime: RuntimePS, DramGB: dram, Device: storage.NVM})
+		th := RunSpark(SparkRun{Workload: w, Runtime: RuntimeTH, DramGB: dram, Device: storage.NVM})
+		rows := []metrics.Row{
+			{Name: w + "/SD(nvm)", B: sd.B, OOM: sd.OOM},
+			{Name: w + "/TH(nvm)", B: th.B, OOM: th.OOM},
+		}
+		sb.WriteString(metrics.FormatBreakdown("Fig 12a "+w+" (Spark-SD vs TH, NVM)", rows, true))
+	}
+	return sb.String()
+}
+
+// Fig12b compares Spark-MO (heap over NVM memory mode) and TeraHeap
+// (Figure 12b).
+func Fig12b() string {
+	var sb strings.Builder
+	for _, w := range SparkWorkloads() {
+		spec := sparkSpecs[w]
+		dram := spec.thDramGB[len(spec.thDramGB)-1]
+		mo := RunSpark(SparkRun{Workload: w, Runtime: RuntimeMO, DramGB: dram, Device: storage.NVM})
+		th := RunSpark(SparkRun{Workload: w, Runtime: RuntimeTH, DramGB: dram, Device: storage.NVM})
+		rows := []metrics.Row{
+			{Name: w + "/MO", B: mo.B, OOM: mo.OOM,
+				Note: devNote(mo.DevStats)},
+			{Name: w + "/TH", B: th.B, OOM: th.OOM,
+				Note: devNote(th.DevStats)},
+		}
+		sb.WriteString(metrics.FormatBreakdown("Fig 12b "+w+" (Spark-MO vs TH, NVM)", rows, true))
+	}
+	return sb.String()
+}
+
+// Fig12c compares Panthera and TeraHeap (Figure 12c): both use 16 GB of
+// DRAM and NVM for the rest (64 GB heap for Panthera, H2 on NVM for TH).
+func Fig12c() string {
+	var sb strings.Builder
+	// The paper's Fig 12c workload list (KM replaces TR and RL). Panthera
+	// holds everything on its 64 GB hybrid heap, so datasets are sized to
+	// fit it (the Panthera paper's own evaluation scale); TeraHeap runs
+	// the same datasets with the same DRAM.
+	list := []string{"PR", "CC", "SSSP", "SVD", "LR", "LgR", "KM", "SVM", "BC"}
+	for _, w := range list {
+		scale := 30.0 / sparkSpecs[w].datasetGB
+		if scale > 1 {
+			scale = 1
+		}
+		p := RunSpark(SparkRun{Workload: w, Runtime: RuntimePanthera, DramGB: 16, Device: storage.NVM, DatasetScale: scale})
+		th := RunSpark(SparkRun{Workload: w, Runtime: RuntimeTH, DramGB: 32, Device: storage.NVM, DatasetScale: scale})
+		rows := []metrics.Row{
+			{Name: w + "/Panthera", B: p.B, OOM: p.OOM, Note: devNote(p.DevStats)},
+			{Name: w + "/TH", B: th.B, OOM: th.OOM, Note: devNote(th.DevStats)},
+		}
+		sb.WriteString(metrics.FormatBreakdown("Fig 12c "+w+" (Panthera vs TH, NVM)", rows, true))
+	}
+	return sb.String()
+}
+
+func devNote(s storage.Stats) string {
+	return metricsCompact(s)
+}
+
+func metricsCompact(s storage.Stats) string {
+	return "devR=" + mbs(s.BytesRead) + " devW=" + mbs(s.BytesWritten)
+}
+
+func mbs(b int64) string {
+	switch {
+	case b >= storage.MB:
+		return itoa(b/storage.MB) + "MB"
+	case b >= storage.KB:
+		return itoa(b/storage.KB) + "KB"
+	}
+	return itoa(b) + "B"
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

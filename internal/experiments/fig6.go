@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"strings"
+
+	"github.com/carv-repro/teraheap-go/internal/giraph"
+	"github.com/carv-repro/teraheap-go/internal/metrics"
+)
+
+// Fig6SparkResult holds one workload's bars.
+type Fig6SparkResult struct {
+	Workload string
+	Rows     []metrics.Row
+	Runs     []RunResult
+}
+
+// Fig6Spark reproduces the Spark half of Figure 6: for each workload,
+// Spark-SD across its DRAM ladder and TeraHeap at the reduced and full
+// DRAM points, with execution-time breakdowns and OOM markers.
+func Fig6Spark(workload string) Fig6SparkResult {
+	spec := sparkSpecs[workload]
+	res := Fig6SparkResult{Workload: workload}
+	for _, d := range spec.sdDramGB {
+		r := RunSpark(SparkRun{Workload: workload, Runtime: RuntimePS, DramGB: d})
+		res.Runs = append(res.Runs, r)
+		res.Rows = append(res.Rows, r.Row())
+	}
+	for _, d := range spec.thDramGB {
+		r := RunSpark(SparkRun{Workload: workload, Runtime: RuntimeTH, DramGB: d})
+		res.Runs = append(res.Runs, r)
+		res.Rows = append(res.Rows, r.Row())
+	}
+	return res
+}
+
+// Fig6Giraph reproduces the Giraph half of Figure 6.
+func Fig6Giraph(workload string) Fig6SparkResult {
+	spec := giraphSpecs[workload]
+	res := Fig6SparkResult{Workload: workload}
+	for _, d := range spec.dramGB {
+		r := RunGiraph(GiraphRun{Workload: workload, Mode: giraph.ModeOOC, DramGB: d})
+		res.Runs = append(res.Runs, r)
+		res.Rows = append(res.Rows, r.Row())
+	}
+	for _, d := range spec.dramGB {
+		r := RunGiraph(GiraphRun{Workload: workload, Mode: giraph.ModeTH, DramGB: d})
+		res.Runs = append(res.Runs, r)
+		res.Rows = append(res.Rows, r.Row())
+	}
+	return res
+}
+
+// Fig6SparkAll runs every Spark workload and formats the figure.
+func Fig6SparkAll() string {
+	var sb strings.Builder
+	for _, w := range SparkWorkloads() {
+		r := Fig6Spark(w)
+		sb.WriteString(metrics.FormatBreakdown("Fig 6 Spark-"+w, r.Rows, true))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Fig6GiraphAll runs every Giraph workload and formats the figure.
+func Fig6GiraphAll() string {
+	var sb strings.Builder
+	for _, w := range GiraphWorkloads() {
+		r := Fig6Giraph(w)
+		sb.WriteString(metrics.FormatBreakdown("Fig 6 Giraph-"+w, r.Rows, true))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"strings"
+
+	"github.com/carv-repro/teraheap-go/internal/metrics"
+)
+
+// Fig8 compares PS, G1, and TeraHeap on every Spark workload at equal
+// DRAM (Figure 8). G1's humongous-object fragmentation OOMs SVM, BC, and
+// RL in the paper.
+func Fig8() string {
+	var sb strings.Builder
+	for _, w := range SparkWorkloads() {
+		spec := sparkSpecs[w]
+		dram := spec.thDramGB[len(spec.thDramGB)-1]
+		rows := []metrics.Row{
+			RunSpark(SparkRun{Workload: w, Runtime: RuntimePS, DramGB: dram}).Row(),
+			RunSpark(SparkRun{Workload: w, Runtime: RuntimeG1, DramGB: dram}).Row(),
+			RunSpark(SparkRun{Workload: w, Runtime: RuntimeTH, DramGB: dram}).Row(),
+		}
+		rows[0].Name = w + "/PS"
+		rows[1].Name = w + "/G1"
+		rows[2].Name = w + "/TH"
+		sb.WriteString(metrics.FormatBreakdown("Fig 8 "+w+" (PS vs G1 vs TH)", rows, true))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

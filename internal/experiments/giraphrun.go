@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/carv-repro/teraheap-go/internal/core"
+	"github.com/carv-repro/teraheap-go/internal/gc"
+	"github.com/carv-repro/teraheap-go/internal/giraph"
+	"github.com/carv-repro/teraheap-go/internal/heap"
+	"github.com/carv-repro/teraheap-go/internal/rt"
+	"github.com/carv-repro/teraheap-go/internal/simclock"
+	"github.com/carv-repro/teraheap-go/internal/storage"
+	"github.com/carv-repro/teraheap-go/internal/vm"
+	"github.com/carv-repro/teraheap-go/internal/workloads"
+)
+
+// giraphSpec describes one Table 4 workload.
+type giraphSpec struct {
+	name      string
+	datasetGB float64
+	// Table 4 shares: heap (or H1) as a fraction of DRAM.
+	oocHeapFrac float64
+	thH1Frac    float64
+	// Fig 6 DRAM points: [reduced, full].
+	dramGB []float64
+	parts  int
+	prog   func(g *workloads.Graph) giraph.Program
+}
+
+var giraphSpecs = map[string]*giraphSpec{
+	"PR": {name: "PR", datasetGB: 85, oocHeapFrac: 70.0 / 85, thH1Frac: 50.0 / 85, dramGB: []float64{74, 85}, parts: 64,
+		prog: func(g *workloads.Graph) giraph.Program { return &giraph.PageRank{Iterations: 10, N: g.N} }},
+	"CDLP": {name: "CDLP", datasetGB: 85, oocHeapFrac: 70.0 / 85, thH1Frac: 60.0 / 85, dramGB: []float64{74, 85}, parts: 64,
+		prog: func(g *workloads.Graph) giraph.Program { return &giraph.CDLP{Iterations: 10} }},
+	"WCC": {name: "WCC", datasetGB: 85, oocHeapFrac: 70.0 / 85, thH1Frac: 60.0 / 85, dramGB: []float64{74, 85}, parts: 64,
+		prog: func(g *workloads.Graph) giraph.Program { return &giraph.WCC{MaxIters: 20} }},
+	"BFS": {name: "BFS", datasetGB: 65, oocHeapFrac: 48.0 / 65, thH1Frac: 35.0 / 65, dramGB: []float64{57, 65}, parts: 64,
+		prog: func(g *workloads.Graph) giraph.Program { return &giraph.BFS{Source: 0, MaxIters: 20} }},
+	"SSSP": {name: "SSSP", datasetGB: 90, oocHeapFrac: 75.0 / 90, thH1Frac: 50.0 / 90, dramGB: []float64{78, 90}, parts: 64,
+		prog: func(g *workloads.Graph) giraph.Program { return &giraph.SSSP{Source: 0, MaxIters: 20} }},
+}
+
+// GiraphWorkloads lists the Graphalytics workloads in Table 4 order.
+func GiraphWorkloads() []string { return []string{"PR", "CDLP", "WCC", "BFS", "SSSP"} }
+
+// GiraphRun configures one Giraph experiment run.
+type GiraphRun struct {
+	Workload     string
+	Mode         giraph.Mode
+	DramGB       float64
+	Threads      int
+	DatasetScale float64
+	THConfig     func(*core.Config)
+	// AnalyzeRegions runs the Fig 10 region-liveness analysis at the end.
+	AnalyzeRegions bool
+}
+
+// RunGiraph executes one Giraph configuration.
+func RunGiraph(cfg GiraphRun) RunResult {
+	spec, ok := giraphSpecs[cfg.Workload]
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown Giraph workload %q", cfg.Workload))
+	}
+	if cfg.Threads == 0 {
+		cfg.Threads = 8
+	}
+	if cfg.DatasetScale == 0 {
+		cfg.DatasetScale = 1
+	}
+	datasetBytes := int64(float64(GB(spec.datasetGB)) * cfg.DatasetScale)
+	g := giraphGraphFromBytes(200+uint64(len(spec.name)), datasetBytes)
+
+	clock := simclock.New()
+	dev := storage.NewDevice(storage.NVMeSSD, clock)
+
+	// Giraph runs use NewRatio=3 (young = 1/4 of the heap): message
+	// stores are bulky long-lived data, so production deployments shrink
+	// the young generation.
+	giraphHeapCfg := func(size int64) *heap.Config {
+		hc := heap.DefaultConfig(size)
+		hc.YoungFraction = 0.25
+		// Slow tenuring keeps current-superstep message chunks young until
+		// their store becomes immutable and move-advised.
+		hc.TenureAge = 7
+		return &hc
+	}
+
+	var jvm *rt.JVM
+	var name string
+	var th *core.TeraHeap
+	switch cfg.Mode {
+	case giraph.ModeTH:
+		h1 := cfg.DramGB * spec.thH1Frac
+		thCfg := core.DefaultConfig(GB(spec.datasetGB*cfg.DatasetScale*3 + 64))
+		thCfg.RegionSize = 64 * storage.KB
+		thCfg.CacheBytes = GB(cfg.DramGB - h1)
+		if cfg.THConfig != nil {
+			cfg.THConfig(&thCfg)
+		}
+		jvm = rt.NewJVM(rt.Options{H1Size: GB(h1), HeapCfg: giraphHeapCfg(GB(h1)),
+			TH: &thCfg, H2Device: dev}, nil, clock)
+		th = jvm.TeraHeap()
+		name = fmt.Sprintf("%s/th/%.0fGB", spec.name, cfg.DramGB)
+	default:
+		heapGB := cfg.DramGB * spec.oocHeapFrac
+		jvm = rt.NewJVM(rt.Options{H1Size: GB(heapGB), HeapCfg: giraphHeapCfg(GB(heapGB))}, nil, clock)
+		name = fmt.Sprintf("%s/ooc/%.0fGB", spec.name, cfg.DramGB)
+	}
+
+	res := RunResult{Name: name}
+	finish := func(err error) RunResult {
+		res.B = clock.Breakdown()
+		res.GCStats = *jvm.GCStats()
+		res.DevStats = dev.Stats()
+		if th != nil {
+			s := th.Stats()
+			res.THStats = &s
+			res.PageFaults = th.Mapped().Cache().Faults
+			res.FinalLowThreshold = th.LowThresholdNow()
+			res.H2UsedBytes = th.UsedBytes()
+		}
+		if err != nil {
+			var oom *gc.OOMError
+			if errors.As(err, &oom) || jvm.OOM() != nil {
+				res.OOM = true
+				return res
+			}
+			panic(fmt.Sprintf("experiments: %s failed: %v", name, err))
+		}
+		return res
+	}
+
+	eng, err := giraph.NewEngine(giraph.Conf{
+		RT:            jvm,
+		Mode:          cfg.Mode,
+		Threads:       cfg.Threads,
+		OOCDev:        dev,
+		OOCCacheBytes: GB(cfg.DramGB * (1 - spec.oocHeapFrac)),
+		// Giraph's OOC keeps data on-heap as long as it can; the old
+		// generation is 3/4 of the heap under NewRatio=3.
+		OOCHighWater: 0.62,
+	}, g, spec.parts)
+	if err != nil {
+		return finish(err)
+	}
+	vals, err := eng.Run(spec.prog(g))
+	if err == nil {
+		res.Checksum = sum64(vals)
+		if cfg.AnalyzeRegions && th != nil {
+			// Shutdown collections: the first moves any still-advised
+			// groups (receiving regions are pinned for their cycle), the
+			// second reclaims everything that died; then measure.
+			if jvm.FullGC() == nil && jvm.FullGC() == nil {
+				th.AnalyzeLiveRegions(collectH2Roots(jvm))
+			}
+			s := th.Stats()
+			res.THStats = &s
+		}
+	}
+	return finish(err)
+}
+
+// collectH2Roots gathers every H1→H2 forward reference plus every rooted
+// handle pointing into H2 — the root set for the offline Fig 10 analysis.
+func collectH2Roots(jvm *rt.JVM) []vm.Addr {
+	col := jvm.Collector()
+	m := col.Mem
+	var roots []vm.Addr
+	col.Roots.ForEach(func(h *vm.Handle) {
+		if a := h.Addr(); !a.IsNull() && jvm.InSecondHeap(a) {
+			roots = append(roots, a)
+		}
+	})
+	scan := func(a vm.Addr) {
+		n := m.NumRefs(a)
+		for i := 0; i < n; i++ {
+			if t := m.RefAt(a, i); !t.IsNull() && jvm.InSecondHeap(t) {
+				roots = append(roots, t)
+			}
+		}
+	}
+	col.H1.Eden.Walk(m, scan)
+	col.H1.From.Walk(m, scan)
+	col.H1.Old.Walk(m, scan)
+	return roots
+}

@@ -1,0 +1,317 @@
+// Package gc implements the Parallel Scavenge-style generational collector
+// the paper extends (§2, §4): a copying minor GC over eden and two survivor
+// spaces with tenuring, and a four-phase (mark, precompact, adjust,
+// compact) major GC over the whole of H1. TeraHeap's extensions plug in
+// through the SecondHeap interface so the identical collector runs both the
+// native-JVM baselines and the TeraHeap configurations.
+package gc
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/carv-repro/teraheap-go/internal/heap"
+	"github.com/carv-repro/teraheap-go/internal/simclock"
+	"github.com/carv-repro/teraheap-go/internal/vm"
+)
+
+// CostParams prices GC and barrier CPU work in virtual time. Device I/O is
+// priced separately by internal/storage. Defaults approximate a 2.4 GHz
+// server core.
+type CostParams struct {
+	CopyPerByte    time.Duration // memcpy during scavenge/compaction
+	ScanPerRef     time.Duration // following one reference
+	MarkPerObject  time.Duration // visiting one object in mark phase
+	PerCard        time.Duration // examining one card table entry
+	PerCardObject  time.Duration // scanning one object found in a dirty card
+	BarrierCost    time.Duration // one post-write barrier execution
+	PausePerGC     time.Duration // fixed safepoint/start/stop overhead
+	MinorGCThreads int           // parallel scavenge threads (paper: 16)
+	MajorGCThreads int           // old generation threads (paper: 1)
+}
+
+// DefaultCostParams returns the calibrated defaults.
+func DefaultCostParams() CostParams {
+	return CostParams{
+		CopyPerByte:    time.Nanosecond / 4, // ~4 GB/s effective copy per thread
+		ScanPerRef:     12 * time.Nanosecond,
+		MarkPerObject:  18 * time.Nanosecond,
+		PerCard:        2 * time.Nanosecond,
+		PerCardObject:  10 * time.Nanosecond,
+		BarrierCost:    1 * time.Nanosecond,
+		PausePerGC:     200 * time.Microsecond,
+		MinorGCThreads: 16,
+		MajorGCThreads: 1,
+	}
+}
+
+// Config configures a collector instance.
+type Config struct {
+	Heap  heap.Config
+	Costs CostParams
+}
+
+// OOMError reports that the heap could not satisfy an allocation even
+// after a full collection — the paper's missing "OOM" bars.
+type OOMError struct {
+	Requested int64 // bytes
+	Where     string
+}
+
+// Error describes the failure.
+func (e *OOMError) Error() string {
+	return fmt.Sprintf("gc: out of memory (%s, requested %d bytes)", e.Where, e.Requested)
+}
+
+// Collector is the Parallel Scavenge collector over H1 with optional
+// TeraHeap (H2) extensions.
+type Collector struct {
+	Mem   *vm.Mem
+	H1    *heap.H1
+	Roots *vm.RootSet
+	TH    SecondHeap
+	Clock *simclock.Clock
+	Costs CostParams
+
+	stats Stats
+
+	// startArray maps old-generation card index to the first object
+	// starting in that card (PS's object start array), enabling dirty-card
+	// scanning without walking the whole old generation.
+	startArray []vm.Addr
+
+	// oom latches after an OOMError so subsequent allocations fail fast.
+	oom *OOMError
+
+	// barrierEnabled mirrors the paper's EnableTeraHeap flag: when false,
+	// the extra H2 range check in the post-write barrier is compiled out.
+	barrierEnabled bool
+}
+
+// New builds a collector over a DRAM-backed H1. th may be nil for a
+// vanilla JVM (no H2).
+func New(cfg Config, as *vm.AddressSpace, classes *vm.ClassTable, clock *simclock.Clock, th SecondHeap) *Collector {
+	return NewWithHeap(heap.New(cfg.Heap, as), cfg.Costs, as, classes, clock, th)
+}
+
+// NewWithHeap builds a collector over an already laid-out (and mapped) H1;
+// used by baselines that back H1 with NVM.
+func NewWithHeap(h1 *heap.H1, costs CostParams, as *vm.AddressSpace, classes *vm.ClassTable, clock *simclock.Clock, th SecondHeap) *Collector {
+	if th == nil {
+		th = NoSecondHeap{}
+	}
+	_, noTH := th.(NoSecondHeap)
+	c := &Collector{
+		Mem:            vm.NewMem(as, classes),
+		H1:             h1,
+		Roots:          vm.NewRootSet(),
+		TH:             th,
+		Clock:          clock,
+		Costs:          costs,
+		startArray:     make([]vm.Addr, h1.Cards.NumCards()),
+		barrierEnabled: !noTH,
+	}
+	return c
+}
+
+// AllocPretenured places an object directly in the old generation (the
+// Panthera allocation policy for long-lived data), falling back to a major
+// GC and then OOM.
+func (c *Collector) AllocPretenured(class *vm.Class, numRefs, sizeWords int) (vm.Addr, error) {
+	if c.oom != nil {
+		return vm.NullAddr, c.oom
+	}
+	a, ok := c.allocOld(sizeWords)
+	if !ok {
+		if err := c.MajorGC(); err != nil {
+			return vm.NullAddr, err
+		}
+		a, ok = c.allocOld(sizeWords)
+	}
+	if !ok {
+		c.oom = &OOMError{Requested: int64(sizeWords) * vm.WordSize, Where: "pretenured allocation"}
+		return vm.NullAddr, c.oom
+	}
+	c.Mem.InitObject(a, class, numRefs, sizeWords)
+	c.stats.BytesAllocated += int64(sizeWords) * vm.WordSize
+	c.stats.ObjectsAllocated++
+	return a, nil
+}
+
+// Stats returns the accumulated GC statistics.
+func (c *Collector) Stats() *Stats { return &c.stats }
+
+// OOM returns the latched out-of-memory error, if any.
+func (c *Collector) OOM() *OOMError { return c.oom }
+
+// NewHandle roots a fresh handle holding a.
+func (c *Collector) NewHandle(a vm.Addr) *vm.Handle { return c.Roots.Create(a) }
+
+// Release unroots h.
+func (c *Collector) Release(h *vm.Handle) { c.Roots.Release(h) }
+
+// Alloc allocates a fixed-layout instance of class.
+func (c *Collector) Alloc(class *vm.Class) (vm.Addr, error) {
+	if class.Kind != vm.KindFixed {
+		panic(fmt.Sprintf("gc: Alloc of non-fixed class %q", class.Name))
+	}
+	return c.allocObject(class, class.NumRefs, class.InstanceWords())
+}
+
+// AllocRefArray allocates a reference array of n elements.
+func (c *Collector) AllocRefArray(class *vm.Class, n int) (vm.Addr, error) {
+	if class.Kind != vm.KindRefArray {
+		panic(fmt.Sprintf("gc: AllocRefArray of class %q", class.Name))
+	}
+	return c.allocObject(class, n, vm.HeaderWords+n)
+}
+
+// AllocPrimArray allocates a primitive array of n words.
+func (c *Collector) AllocPrimArray(class *vm.Class, n int) (vm.Addr, error) {
+	if class.Kind != vm.KindPrimArray {
+		panic(fmt.Sprintf("gc: AllocPrimArray of class %q", class.Name))
+	}
+	return c.allocObject(class, 0, vm.HeaderWords+n)
+}
+
+func (c *Collector) allocObject(class *vm.Class, numRefs, sizeWords int) (vm.Addr, error) {
+	if c.oom != nil {
+		return vm.NullAddr, c.oom
+	}
+	a, err := c.allocWords(sizeWords)
+	if err != nil {
+		return vm.NullAddr, err
+	}
+	c.Mem.InitObject(a, class, numRefs, sizeWords)
+	c.stats.BytesAllocated += int64(sizeWords) * vm.WordSize
+	c.stats.ObjectsAllocated++
+	return a, nil
+}
+
+// allocWords is the allocation slow path: eden, then minor GC (with a major
+// first if promotion could not be absorbed), then direct old-generation
+// placement for large objects, then major GC, then OOM.
+func (c *Collector) allocWords(sizeWords int) (vm.Addr, error) {
+	sizeBytes := int64(sizeWords) * vm.WordSize
+	large := sizeBytes > c.H1.Eden.Capacity()/2
+
+	if !large {
+		if a, ok := c.H1.Eden.Alloc(sizeWords); ok {
+			return a, nil
+		}
+		if err := c.ensureMinorHeadroom(); err != nil {
+			return vm.NullAddr, err
+		}
+		if err := c.MinorGC(); err != nil {
+			return vm.NullAddr, err
+		}
+		if a, ok := c.H1.Eden.Alloc(sizeWords); ok {
+			return a, nil
+		}
+	}
+	// Large object, or eden still cannot fit: old generation.
+	if a, ok := c.allocOld(sizeWords); ok {
+		return a, nil
+	}
+	if err := c.MajorGC(); err != nil {
+		return vm.NullAddr, err
+	}
+	if a, ok := c.allocOld(sizeWords); ok {
+		return a, nil
+	}
+	c.oom = &OOMError{Requested: sizeBytes, Where: "allocation"}
+	return vm.NullAddr, c.oom
+}
+
+// ensureMinorHeadroom guarantees a minor GC cannot fail mid-scavenge: in
+// the worst case every live young byte is promoted, so the old generation
+// must have room for the entire used young generation. When it does not,
+// a major GC runs first — exactly the frequent, low-yield full collections
+// the paper observes under memory pressure (§7.1, Fig 7).
+func (c *Collector) ensureMinorHeadroom() error {
+	if c.H1.Old.Free() >= c.H1.YoungUsed() {
+		return nil
+	}
+	return c.MajorGC()
+}
+
+func (c *Collector) allocOld(sizeWords int) (vm.Addr, bool) {
+	a, ok := c.H1.Old.Alloc(sizeWords)
+	if ok {
+		c.noteOldAlloc(a)
+	}
+	return a, ok
+}
+
+// noteOldAlloc maintains the object start array for dirty-card scanning.
+func (c *Collector) noteOldAlloc(a vm.Addr) {
+	i := c.H1.Cards.Index(a)
+	if c.startArray[i].IsNull() || a < c.startArray[i] {
+		c.startArray[i] = a
+	}
+}
+
+func (c *Collector) rebuildStartArray() {
+	for i := range c.startArray {
+		c.startArray[i] = vm.NullAddr
+	}
+	c.H1.Old.Walk(c.Mem, func(a vm.Addr) { c.noteOldAlloc(a) })
+}
+
+// WriteRef performs a mutator reference-field store with the post-write
+// barrier (§4): a reference range check selects the H1 or H2 card table.
+func (c *Collector) WriteRef(obj vm.Addr, field int, val vm.Addr) {
+	c.Clock.Charge(simclock.Other, c.Costs.BarrierCost)
+	c.stats.BarrierExecutions++
+	if c.barrierEnabled {
+		// The extra reference range check EnableTeraHeap compiles in;
+		// the paper measures its overhead at <3% on DaCapo (§4).
+		c.Clock.Charge(simclock.Other, c.Costs.BarrierCost)
+	}
+	if c.TH.Contains(obj) {
+		// Updating an H2 object: the store itself is a device
+		// read-modify-write through the mapped file.
+		c.Mem.SetRefAt(obj, field, val)
+		c.TH.DirtyCard(obj)
+		return
+	}
+	c.Mem.SetRefAt(obj, field, val)
+	if c.H1.InOld(obj) && !val.IsNull() {
+		c.H1.Cards.MarkDirty(obj)
+	}
+}
+
+// WritePrim performs a mutator primitive-word store (no card needed, but
+// H2 stores still pay device cost through the mapped file).
+func (c *Collector) WritePrim(obj vm.Addr, i int, v uint64) {
+	c.Mem.SetPrimAt(obj, i, v)
+}
+
+// ReadRef loads a reference field (H2 loads charge page faults).
+func (c *Collector) ReadRef(obj vm.Addr, field int) vm.Addr {
+	return c.Mem.RefAt(obj, field)
+}
+
+// ReadPrim loads a primitive word.
+func (c *Collector) ReadPrim(obj vm.Addr, i int) uint64 {
+	return c.Mem.PrimAt(obj, i)
+}
+
+// chargeGC divides CPU work across GC threads and bills the category.
+func (c *Collector) chargeGC(cat simclock.Category, d time.Duration, threads int) {
+	if threads < 1 {
+		threads = 1
+	}
+	c.Clock.Charge(cat, d/time.Duration(threads))
+}
+
+// adjustRef computes the post-compaction address for ref using the sorted
+// forwarding tables built in the precompaction phase.
+func adjustRef(src, dst []vm.Addr, ref vm.Addr) (vm.Addr, bool) {
+	i := sort.Search(len(src), func(i int) bool { return src[i] >= ref })
+	if i < len(src) && src[i] == ref {
+		return dst[i], true
+	}
+	return vm.NullAddr, false
+}

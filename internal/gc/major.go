@@ -1,0 +1,416 @@
+package gc
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/carv-repro/teraheap-go/internal/simclock"
+	"github.com/carv-repro/teraheap-go/internal/vm"
+)
+
+// MajorGC runs one full collection: mark, precompact, adjust, compact,
+// with the paper's TeraHeap extensions in each phase (§4).
+func (c *Collector) MajorGC() error {
+	if c.oom != nil {
+		return c.oom
+	}
+	prevCat := c.Clock.SetContext(simclock.MajorGC)
+	defer c.Clock.SetContext(prevCat)
+	before := c.Clock.Breakdown()
+	usedBefore := c.H1.Used()
+
+	var cy Cycle
+	cy.Kind = Major
+
+	phaseStart := c.Clock.Breakdown()
+	mk := c.majorMark(&cy)
+	c.chargeGC(simclock.MajorGC, mk.cpu(c.Costs), c.Costs.MajorGCThreads)
+	cy.Phases[PhaseMark] = c.Clock.Breakdown().Sub(phaseStart).Get(simclock.MajorGC)
+
+	phaseStart = c.Clock.Breakdown()
+	fw, err := c.majorPrecompact(mk, &cy)
+	if err != nil {
+		return err
+	}
+	c.chargeGC(simclock.MajorGC,
+		time.Duration(len(fw.src))*c.Costs.PerCardObject, c.Costs.MajorGCThreads)
+	cy.Phases[PhasePrecompact] = c.Clock.Breakdown().Sub(phaseStart).Get(simclock.MajorGC)
+
+	phaseStart = c.Clock.Breakdown()
+	adjRefs := c.majorAdjust(fw)
+	c.chargeGC(simclock.MajorGC,
+		time.Duration(adjRefs)*c.Costs.ScanPerRef, c.Costs.MajorGCThreads)
+	cy.Phases[PhaseAdjust] = c.Clock.Breakdown().Sub(phaseStart).Get(simclock.MajorGC)
+
+	phaseStart = c.Clock.Breakdown()
+	c.majorCompact(fw, &cy)
+	cy.Phases[PhaseCompact] = c.Clock.Breakdown().Sub(phaseStart).Get(simclock.MajorGC)
+
+	c.Clock.Charge(simclock.MajorGC, c.Costs.PausePerGC)
+
+	liveOld := c.H1.Old.Used()
+	c.TH.FinishMajor(liveOld, c.H1.Old.Capacity())
+
+	delta := c.Clock.Breakdown().Sub(before)
+	cy.At = c.Clock.Now()
+	cy.Duration = delta.Get(simclock.MajorGC)
+	cy.OldOccupancyAfter = c.H1.OldOccupancy()
+	cy.ReclaimedBytes = usedBefore - c.H1.Used()
+	c.stats.record(cy)
+	return nil
+}
+
+// markState carries mark-phase results into precompaction.
+type markState struct {
+	objectsMarked int64
+	refsTraversed int64
+	closureWords  int64
+	liveBytes     int64
+}
+
+func (m *markState) cpu(costs CostParams) time.Duration {
+	return time.Duration(m.objectsMarked)*costs.MarkPerObject +
+		time.Duration(m.refsTraversed)*costs.ScanPerRef
+}
+
+// majorMark performs the extended marking phase: reset H2 live bits, mark
+// H1 objects referenced from H2 (backward refs), select and label the
+// transitive closures of tagged root key-objects, then mark from roots
+// while fencing H2 and recording forward references.
+func (c *Collector) majorMark(cy *Cycle) *markState {
+	m := c.Mem
+	st := &markState{}
+	// Pressure is judged on the data that will survive this collection —
+	// the old generation plus the survivor space (eden is mostly garbage)
+	// — against the old generation that must hold it.
+	c.TH.BeginMajorMark(c.H1.Old.Used()+c.H1.From.Used(), c.H1.Old.Capacity())
+
+	// Gather backward references first: their targets are both GC roots
+	// and, when the holder region's label is move-advised, stragglers
+	// that belong to an already-moved object group.
+	type backRef struct {
+		label  uint64
+		target vm.Addr
+	}
+	var backs []backRef
+	c.TH.ScanBackwardRefs(true, func(label uint64, t vm.Addr) vm.Addr {
+		backs = append(backs, backRef{label: label, target: t})
+		return t
+	}, c.H1.InYoung)
+
+	// Closure selection: BFS setting the closure bit and label.
+	var closureStack []vm.Addr
+	selectClosure := func(root vm.Addr, label uint64) {
+		closureStack = append(closureStack[:0], root)
+		for len(closureStack) > 0 {
+			o := closureStack[len(closureStack)-1]
+			closureStack = closureStack[:len(closureStack)-1]
+			if o.IsNull() || c.TH.Contains(o) || m.InClosure(o) {
+				continue
+			}
+			if c.TH.ExcludeClass(m.ClassOf(o)) {
+				continue
+			}
+			m.SetInClosure(o, true)
+			m.SetLabel(o, label)
+			st.closureWords += int64(m.SizeWords(o))
+			st.objectsMarked++
+			n := m.NumRefs(o)
+			for i := 0; i < n; i++ {
+				if t := m.RefAt(o, i); !t.IsNull() && c.H1.Contains(t) {
+					closureStack = append(closureStack, t)
+					st.refsTraversed++
+				}
+			}
+		}
+	}
+
+	// Closure-select from tagged root key-objects (§3.2) and from H1
+	// objects referenced by advised-label H2 regions (the remainder of a
+	// group whose root already moved via the minor-GC path). Advised
+	// (immutable) labels go first; forced movement under pressure fills
+	// the remaining low-threshold budget — never ahead of advised groups,
+	// which are the cheap, update-free candidates.
+	selectCandidates := func(advisedPass bool) {
+		for _, tr := range c.TH.TaggedRoots() {
+			a := tr.Handle.Addr()
+			if a.IsNull() || c.TH.Contains(a) || !c.H1.Contains(a) || m.InClosure(a) {
+				continue
+			}
+			if c.TH.Advised(tr.Label) != advisedPass {
+				continue
+			}
+			if !c.TH.ShouldMoveLabel(tr.Label, st.closureWords) {
+				continue
+			}
+			selectClosure(a, tr.Label)
+		}
+		for _, b := range backs {
+			if b.label == 0 || !c.H1.Contains(b.target) || m.InClosure(b.target) {
+				continue
+			}
+			if c.TH.Advised(b.label) != advisedPass {
+				continue
+			}
+			if !c.TH.ShouldMoveLabel(b.label, st.closureWords) {
+				continue
+			}
+			selectClosure(b.target, b.label)
+		}
+	}
+	selectCandidates(true)
+
+	// Mark from roots.
+	var stack []vm.Addr
+	push := func(a vm.Addr) {
+		if !a.IsNull() {
+			stack = append(stack, a)
+		}
+	}
+	c.Roots.ForEach(func(h *vm.Handle) { push(h.Addr()) })
+	for _, b := range backs {
+		push(b.target)
+	}
+
+	for len(stack) > 0 {
+		o := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if c.TH.Contains(o) {
+			// Fence: record the forward reference, never scan H2.
+			cy.ForwardRefs++
+			c.TH.NoteForwardRef(o)
+			continue
+		}
+		if !c.H1.Contains(o) {
+			panic(fmt.Sprintf("gc: mark reached unmapped address %v", o))
+		}
+		if m.Marked(o) {
+			continue
+		}
+		m.SetMarked(o, true)
+		st.objectsMarked++
+		st.liveBytes += int64(m.SizeWords(o)) * vm.WordSize
+		n := m.NumRefs(o)
+		for i := 0; i < n; i++ {
+			if t := m.RefAt(o, i); !t.IsNull() {
+				st.refsTraversed++
+				push(t)
+			}
+		}
+	}
+
+	// With the exact live volume known — minus what the advised closures
+	// already take to H2 — evaluate the threshold policy and run the
+	// forced round, so a collection that discovers residual pressure
+	// relieves it in the same cycle (the paper's loading-phase rescue,
+	// §7.2) without forcing groups the hints would have handled.
+	residual := st.liveBytes - st.closureWords*vm.WordSize
+	c.TH.EvaluatePressure(residual, c.H1.Old.Capacity())
+	selectCandidates(true)
+	selectCandidates(false)
+	return st
+}
+
+// forwarding holds the precompaction result: parallel arrays of live
+// source addresses (ascending) and their destinations, plus the partition
+// point between young-space and old-space sources.
+type forwarding struct {
+	src []vm.Addr
+	dst []vm.Addr
+	// oldStartIdx is the index in src of the first old-generation object.
+	oldStartIdx int
+	// oldTop is the post-compaction old-generation allocation top.
+	oldTop vm.Addr
+}
+
+// inH2 reports whether the destination of entry i is in the second heap.
+func (f *forwarding) inH2(i int) bool { return vm.InH2(f.dst[i]) }
+
+// majorPrecompact assigns every marked object its new address: H2 regions
+// for closure objects (by label), the compacted old generation otherwise.
+// Old-generation objects are assigned first so in-place compaction copies
+// never overwrite unprocessed sources.
+func (c *Collector) majorPrecompact(mk *markState, cy *Cycle) (*forwarding, error) {
+	m := c.Mem
+	fw := &forwarding{}
+
+	// Collect live objects in address order: young spaces then old.
+	youngSpaces := []*vm.Space{c.H1.Eden, c.H1.From, c.H1.To}
+	sort.Slice(youngSpaces, func(i, j int) bool { return youngSpaces[i].Start < youngSpaces[j].Start })
+	var youngLive, oldLive []vm.Addr
+	for _, sp := range youngSpaces {
+		sp.Walk(m, func(a vm.Addr) {
+			if m.Marked(a) {
+				youngLive = append(youngLive, a)
+			}
+		})
+	}
+	c.H1.Old.Walk(m, func(a vm.Addr) {
+		if m.Marked(a) {
+			oldLive = append(oldLive, a)
+		}
+	})
+
+	oldTop := c.H1.Old.Start
+	assign := func(a vm.Addr) (vm.Addr, error) {
+		size := m.SizeWords(a)
+		if m.InClosure(a) {
+			if dst, ok := c.TH.PrepareMove(m.Label(a), size); ok {
+				return dst, nil
+			}
+			// H2 exhausted: keep the object in H1.
+		}
+		dst := oldTop
+		oldTop += vm.Addr(size * vm.WordSize)
+		if oldTop > c.H1.Old.End {
+			byLabel := map[uint64]int64{}
+			for _, o := range append(append([]vm.Addr{}, youngLive...), oldLive...) {
+				byLabel[m.Label(o)] += int64(m.SizeWords(o)) * vm.WordSize
+			}
+			c.oom = &OOMError{
+				Requested: int64(size) * vm.WordSize,
+				Where: fmt.Sprintf("major GC compaction (live young=%d old=%d objs, closure=%dw, old cap=%d, liveByLabel=%v)",
+					len(youngLive), len(oldLive), mk.closureWords, c.H1.Old.Capacity(), byLabel),
+			}
+			return vm.NullAddr, c.oom
+		}
+		return dst, nil
+	}
+
+	// Old first (dst <= src within the old space), then young.
+	oldDst := make([]vm.Addr, len(oldLive))
+	for i, a := range oldLive {
+		d, err := assign(a)
+		if err != nil {
+			return nil, err
+		}
+		oldDst[i] = d
+	}
+	youngDst := make([]vm.Addr, len(youngLive))
+	for i, a := range youngLive {
+		d, err := assign(a)
+		if err != nil {
+			return nil, err
+		}
+		youngDst[i] = d
+	}
+
+	fw.src = append(append(fw.src, youngLive...), oldLive...)
+	fw.dst = append(append(fw.dst, youngDst...), oldDst...)
+	fw.oldStartIdx = len(youngLive)
+	fw.oldTop = oldTop
+	return fw, nil
+}
+
+// majorAdjust rewrites every reference in live H1 objects, in the root
+// set, and in H2 backward-reference card segments to the new locations,
+// recording new cross-region and backward references for objects bound
+// for H2.
+func (c *Collector) majorAdjust(fw *forwarding) int64 {
+	m := c.Mem
+	var refs int64
+	for i, a := range fw.src {
+		n := m.NumRefs(a)
+		toH2 := fw.inH2(i)
+		for f := 0; f < n; f++ {
+			t := m.RefAt(a, f)
+			if t.IsNull() {
+				continue
+			}
+			refs++
+			if c.TH.Contains(t) {
+				if toH2 {
+					c.TH.NoteCrossRegionRef(fw.dst[i], t)
+				}
+				continue
+			}
+			nt, ok := adjustRef(fw.src, fw.dst, t)
+			if !ok {
+				panic(fmt.Sprintf("gc: live object %v references unmarked %v", a, t))
+			}
+			m.SetRefAt(a, f, nt)
+			if toH2 {
+				if vm.InH2(nt) {
+					c.TH.NoteCrossRegionRef(fw.dst[i], nt)
+				} else {
+					// After compaction every H1 survivor is in the old
+					// generation.
+					c.TH.NoteBackwardRef(fw.dst[i], false)
+				}
+			}
+		}
+	}
+
+	// Roots.
+	c.Roots.ForEach(func(h *vm.Handle) {
+		a := h.Addr()
+		if a.IsNull() || c.TH.Contains(a) {
+			return
+		}
+		nt, ok := adjustRef(fw.src, fw.dst, a)
+		if !ok {
+			panic(fmt.Sprintf("gc: rooted handle references unmarked %v", a))
+		}
+		h.Set(nt)
+	})
+
+	// Backward references held by existing H2 objects.
+	c.TH.ScanBackwardRefs(true, func(_ uint64, t vm.Addr) vm.Addr {
+		nt, ok := adjustRef(fw.src, fw.dst, t)
+		if !ok {
+			panic(fmt.Sprintf("gc: H2 backward reference to unmarked %v", t))
+		}
+		refs++
+		return nt
+	}, func(vm.Addr) bool { return false })
+
+	return refs
+}
+
+// majorCompact moves every live object to its assigned destination: old
+// generation objects first (sliding compaction), then young survivors,
+// with H2-bound objects written through the promotion buffers.
+func (c *Collector) majorCompact(fw *forwarding, cy *Cycle) {
+	m := c.Mem
+
+	moveOne := func(i int) {
+		src, dst := fw.src[i], fw.dst[i]
+		size := m.SizeWords(src)
+		if fw.inH2(i) {
+			image := make([]uint64, size)
+			for w := 0; w < size; w++ {
+				image[w] = m.AS.Load(src + vm.Addr(w*vm.WordSize))
+			}
+			image[0] &^= (1 << 24) | (1 << 25) // clear mark + closure bits
+			c.TH.CommitMove(dst, image)
+			cy.BytesMovedToH2 += int64(size) * vm.WordSize
+			cy.ObjectsMovedH2++
+			return
+		}
+		if dst != src {
+			m.CopyObject(dst, src, size)
+		}
+		st := m.Status(dst)
+		m.SetStatus(dst, st&^((1<<24)|(1<<25)))
+		cy.BytesCopied += int64(size) * vm.WordSize
+	}
+
+	for i := fw.oldStartIdx; i < len(fw.src); i++ {
+		moveOne(i)
+	}
+	for i := 0; i < fw.oldStartIdx; i++ {
+		moveOne(i)
+	}
+	c.chargeGC(simclock.MajorGC,
+		time.Duration(cy.BytesCopied)*c.Costs.CopyPerByte, c.Costs.MajorGCThreads)
+
+	// Reset spaces: everything live is now in the old generation or H2.
+	c.H1.Old.Top = fw.oldTop
+	c.H1.Eden.Reset()
+	c.H1.From.Reset()
+	c.H1.To.Reset()
+	c.H1.Cards.ClearAll()
+	c.rebuildStartArray()
+	c.TH.FlushBuffers()
+}

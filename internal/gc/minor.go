@@ -1,0 +1,287 @@
+package gc
+
+import (
+	"fmt"
+	"time"
+
+	"github.com/carv-repro/teraheap-go/internal/heap"
+	"github.com/carv-repro/teraheap-go/internal/simclock"
+	"github.com/carv-repro/teraheap-go/internal/vm"
+)
+
+// pendingH2Move records a young object reserved for direct promotion to H2
+// during scavenge (the paper's young-generation-to-H2 fast path, §7.1).
+// The original's status word is captured before it is overwritten by the
+// forwarding pointer.
+type pendingH2Move struct {
+	src    vm.Addr
+	dst    vm.Addr
+	status uint64
+}
+
+// scavenger holds the per-cycle state of one minor GC.
+type scavenger struct {
+	c        *Collector
+	worklist []vm.Addr
+	h2moves  []pendingH2Move
+
+	bytesCopied   int64
+	bytesPromoted int64
+	bytesToH2     int64
+	objectsToH2   int64
+	refsScanned   int64
+	cardsScanned  int64
+	cardObjects   int64
+}
+
+// MinorGC runs one scavenge of the young generation.
+func (c *Collector) MinorGC() error {
+	if c.oom != nil {
+		return c.oom
+	}
+	prevCat := c.Clock.SetContext(simclock.MinorGC)
+	defer c.Clock.SetContext(prevCat)
+	before := c.Clock.Breakdown()
+
+	s := &scavenger{c: c}
+
+	// Roots 1: handles.
+	c.Roots.ForEach(func(h *vm.Handle) {
+		a := h.Addr()
+		if !a.IsNull() && c.H1.InYoung(a) {
+			h.Set(s.copyYoung(a))
+		}
+	})
+
+	// Roots 2: old-to-young references via the H1 card table.
+	s.scanDirtyCards()
+
+	// Roots 3: backward references from H2 (dirty and youngGen segments).
+	c.TH.ScanBackwardRefs(false, func(_ uint64, t vm.Addr) vm.Addr {
+		if c.H1.InYoung(t) {
+			return s.copyYoung(t)
+		}
+		return t
+	}, c.H1.InYoung)
+
+	s.drain()
+
+	// The young generation is now empty: survivors moved to to-space, the
+	// tenured to the old generation, the tagged to H2.
+	c.H1.Eden.Reset()
+	c.H1.From.Reset()
+	c.H1.SwapSurvivors()
+	c.TH.FlushBuffers()
+
+	// Bill CPU work.
+	cpu := time.Duration(s.bytesCopied+s.bytesPromoted)*c.Costs.CopyPerByte +
+		time.Duration(s.refsScanned)*c.Costs.ScanPerRef +
+		time.Duration(s.cardsScanned)*c.Costs.PerCard +
+		time.Duration(s.cardObjects)*c.Costs.PerCardObject
+	c.chargeGC(simclock.MinorGC, cpu, c.Costs.MinorGCThreads)
+	c.Clock.Charge(simclock.MinorGC, c.Costs.PausePerGC)
+
+	delta := c.Clock.Breakdown().Sub(before)
+	c.stats.record(Cycle{
+		Kind:              Minor,
+		At:                c.Clock.Now(),
+		Duration:          delta.Get(simclock.MinorGC),
+		BytesCopied:       s.bytesCopied,
+		BytesPromoted:     s.bytesPromoted,
+		BytesMovedToH2:    s.bytesToH2,
+		ObjectsMovedH2:    s.objectsToH2,
+		OldOccupancyAfter: c.H1.OldOccupancy(),
+		CardsScanned:      s.cardsScanned,
+	})
+	return nil
+}
+
+// copyYoung evacuates the young object at a, returning its new address.
+func (s *scavenger) copyYoung(a vm.Addr) vm.Addr {
+	c := s.c
+	m := c.Mem
+	if m.Forwarded(a) {
+		return m.Forwardee(a)
+	}
+	size := m.SizeWords(a)
+	status := m.Status(a)
+
+	// Direct young-to-H2 promotion for move-advised labels.
+	if label := m.Label(a); label != 0 && c.TH.MoveOnMinor(label) {
+		if dst, ok := c.TH.PrepareMove(label, size); ok {
+			m.SetForwardee(a, dst)
+			s.h2moves = append(s.h2moves, pendingH2Move{src: a, dst: dst, status: status})
+			s.objectsToH2++
+			s.bytesToH2 += int64(size) * vm.WordSize
+			return dst
+		}
+	}
+
+	age := m.Age(a) + 1
+	var dst vm.Addr
+	var ok bool
+	promoted := false
+	if age >= c.H1.Cfg.TenureAge {
+		dst, ok = c.allocOld(size)
+		promoted = ok
+	}
+	if !ok {
+		dst, ok = c.H1.To.Alloc(size)
+	}
+	if !ok {
+		dst, ok = c.allocOld(size)
+		promoted = ok
+	}
+	if !ok {
+		// ensureMinorHeadroom guarantees this cannot happen.
+		panic(fmt.Sprintf("gc: promotion failure during scavenge (obj %v, %d words)", a, size))
+	}
+	m.CopyObject(dst, a, size)
+	m.SetAge(dst, age)
+	m.SetForwardee(a, dst)
+	if promoted {
+		s.bytesPromoted += int64(size) * vm.WordSize
+	} else {
+		s.bytesCopied += int64(size) * vm.WordSize
+	}
+	s.worklist = append(s.worklist, dst)
+	return dst
+}
+
+// drain processes the scavenge worklist and any pending H2 moves until
+// both are empty.
+func (s *scavenger) drain() {
+	for len(s.worklist) > 0 || len(s.h2moves) > 0 {
+		for len(s.worklist) > 0 {
+			dst := s.worklist[len(s.worklist)-1]
+			s.worklist = s.worklist[:len(s.worklist)-1]
+			s.scanCopied(dst)
+		}
+		for len(s.h2moves) > 0 {
+			// FIFO so commits reach each region's promotion buffer in
+			// ascending address order.
+			mv := s.h2moves[0]
+			s.h2moves = s.h2moves[1:]
+			s.commitH2Move(mv)
+		}
+	}
+}
+
+// scanCopied visits the reference fields of a freshly copied object,
+// evacuating any young targets.
+func (s *scavenger) scanCopied(dst vm.Addr) {
+	c := s.c
+	m := c.Mem
+	n := m.NumRefs(dst)
+	anyYoung := false
+	for i := 0; i < n; i++ {
+		t := m.RefAt(dst, i)
+		s.refsScanned++
+		if t.IsNull() || c.TH.Contains(t) {
+			continue // fence: never cross into H2
+		}
+		if c.H1.InYoung(t) {
+			nt := s.copyYoung(t)
+			m.SetRefAt(dst, i, nt)
+			if c.H1.InYoung(nt) {
+				anyYoung = true
+			}
+		}
+	}
+	if anyYoung && c.H1.InOld(dst) {
+		c.H1.Cards.MarkDirty(dst)
+	}
+}
+
+// commitH2Move builds the final object image for a young object bound for
+// H2 and writes it through the promotion buffer. References to young
+// objects are resolved (evacuating them if necessary); remaining H1
+// references become backward references, H2 references become cross-region
+// dependencies.
+func (s *scavenger) commitH2Move(mv pendingH2Move) {
+	c := s.c
+	m := c.Mem
+	shape := m.Shape(mv.src)
+	size := int(uint32(shape))
+	numRefs := int(shape >> 32)
+	label := m.Label(mv.src)
+
+	image := make([]uint64, size)
+	image[0] = mv.status &^ (1 << 24) // clear mark bit; keep class/age
+	image[1] = shape
+	image[2] = label
+	for i := 0; i < numRefs; i++ {
+		t := vm.Addr(m.AS.Load(mv.src + vm.Addr((vm.HeaderWords+i)*vm.WordSize)))
+		s.refsScanned++
+		switch {
+		case t.IsNull():
+		case c.TH.Contains(t):
+			c.TH.NoteCrossRegionRef(mv.dst, t)
+		case c.H1.InYoung(t):
+			// The transitive closure travels with the root: young
+			// children inherit the label (unless excluded) so they
+			// promote to H2 in the same scavenge rather than being
+			// stranded in H1 once the root's registry entry is pruned.
+			if label != 0 && !m.Forwarded(t) && m.Label(t) == 0 &&
+				!c.TH.ExcludeClass(m.ClassOf(t)) {
+				m.SetLabel(t, label)
+			}
+			nt := s.copyYoung(t)
+			t = nt
+			if c.TH.Contains(nt) {
+				c.TH.NoteCrossRegionRef(mv.dst, nt)
+			} else {
+				c.TH.NoteBackwardRef(mv.dst, c.H1.InYoung(nt))
+			}
+		default: // old generation
+			c.TH.NoteBackwardRef(mv.dst, false)
+		}
+		image[vm.HeaderWords+i] = uint64(t)
+	}
+	// Primitive words.
+	for i := vm.HeaderWords + numRefs; i < size; i++ {
+		image[i] = m.AS.Load(mv.src + vm.Addr(i*vm.WordSize))
+	}
+	c.TH.CommitMove(mv.dst, image)
+}
+
+// scanDirtyCards walks old-generation objects in dirty cards, evacuating
+// their young targets and re-dirtying cards that still reference survivors.
+func (s *scavenger) scanDirtyCards() {
+	c := s.c
+	m := c.Mem
+	cards := c.H1.Cards
+	n := cards.NumCards()
+	for i := 0; i < n; i++ {
+		s.cardsScanned++
+		if cards.Get(i) != heap.CardDirty {
+			continue
+		}
+		cards.Set(i, heap.CardClean)
+		_, hi := cards.CardBounds(i)
+		obj := c.startArray[i]
+		anyYoung := false
+		for !obj.IsNull() && obj < hi && obj < c.H1.Old.Top {
+			s.cardObjects++
+			nrefs := m.NumRefs(obj)
+			for f := 0; f < nrefs; f++ {
+				t := m.RefAt(obj, f)
+				s.refsScanned++
+				if t.IsNull() || c.TH.Contains(t) {
+					continue
+				}
+				if c.H1.InYoung(t) {
+					nt := s.copyYoung(t)
+					m.SetRefAt(obj, f, nt)
+					if c.H1.InYoung(nt) {
+						anyYoung = true
+					}
+				}
+			}
+			obj += vm.Addr(m.SizeWords(obj) * vm.WordSize)
+		}
+		if anyYoung {
+			cards.Set(i, heap.CardDirty)
+		}
+	}
+}

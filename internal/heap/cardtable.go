@@ -1,0 +1,93 @@
+package heap
+
+import "github.com/carv-repro/teraheap-go/internal/vm"
+
+// Card states for the H1 card table. H1 needs only clean/dirty; the richer
+// four-state encoding lives in TeraHeap's H2 card table (internal/core).
+const (
+	CardClean byte = iota
+	CardDirty
+)
+
+// CardTable maps a contiguous address range to byte-sized card entries,
+// one per CardSize-byte segment. The mutator's post-write barrier dirties
+// the card covering an updated old-generation object; minor GC scans dirty
+// cards to find old-to-young references.
+type CardTable struct {
+	Start    vm.Addr
+	End      vm.Addr
+	CardSize int
+	cards    []byte
+}
+
+// NewCardTable covers [start, end) with cards of cardSize bytes.
+func NewCardTable(start, end vm.Addr, cardSize int) *CardTable {
+	if cardSize <= 0 {
+		panic("heap: non-positive card size")
+	}
+	n := (int64(end-start) + int64(cardSize) - 1) / int64(cardSize)
+	return &CardTable{Start: start, End: end, CardSize: cardSize, cards: make([]byte, n)}
+}
+
+// Covers reports whether a falls inside the table's range.
+func (t *CardTable) Covers(a vm.Addr) bool { return a >= t.Start && a < t.End }
+
+// Index returns the card index covering a.
+func (t *CardTable) Index(a vm.Addr) int {
+	return int(int64(a-t.Start) / int64(t.CardSize))
+}
+
+// NumCards returns the number of cards.
+func (t *CardTable) NumCards() int { return len(t.cards) }
+
+// Get returns the state of card i.
+func (t *CardTable) Get(i int) byte { return t.cards[i] }
+
+// Set writes the state of card i.
+func (t *CardTable) Set(i int, v byte) { t.cards[i] = v }
+
+// MarkDirty dirties the card covering a. Addresses outside the range are
+// ignored (young-generation stores need no card).
+func (t *CardTable) MarkDirty(a vm.Addr) {
+	if !t.Covers(a) {
+		return
+	}
+	t.cards[t.Index(a)] = CardDirty
+}
+
+// CardBounds returns the address range [lo, hi) covered by card i.
+func (t *CardTable) CardBounds(i int) (lo, hi vm.Addr) {
+	lo = t.Start + vm.Addr(i*t.CardSize)
+	hi = lo + vm.Addr(t.CardSize)
+	if hi > t.End {
+		hi = t.End
+	}
+	return lo, hi
+}
+
+// ForEach visits every card index whose state matches pred.
+func (t *CardTable) ForEach(pred func(state byte) bool, fn func(i int)) {
+	for i, s := range t.cards {
+		if pred(s) {
+			fn(i)
+		}
+	}
+}
+
+// CountDirty returns the number of dirty cards.
+func (t *CardTable) CountDirty() int {
+	n := 0
+	for _, s := range t.cards {
+		if s == CardDirty {
+			n++
+		}
+	}
+	return n
+}
+
+// ClearAll resets every card to clean.
+func (t *CardTable) ClearAll() {
+	for i := range t.cards {
+		t.cards[i] = CardClean
+	}
+}

@@ -1,0 +1,146 @@
+// Package metrics formats experiment results: execution-time breakdown
+// tables in the style of the paper's figures, CSV emission for plotting,
+// and CDF helpers for the region-liveness distributions.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/carv-repro/teraheap-go/internal/simclock"
+)
+
+// Row is one bar of a breakdown figure.
+type Row struct {
+	Name string
+	B    simclock.Breakdown
+	OOM  bool
+	Note string
+}
+
+// FormatBreakdown renders rows as an aligned table with one column per
+// breakdown category plus the total, normalized to the first non-OOM row
+// when normalize is set (the paper normalizes to the first bar).
+func FormatBreakdown(title string, rows []Row, normalize bool) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s ==\n", title)
+	var base time.Duration
+	if normalize {
+		for _, r := range rows {
+			if !r.OOM {
+				base = r.B.Total()
+				break
+			}
+		}
+	}
+	fmt.Fprintf(&sb, "%-28s %10s %10s %10s %10s %10s %8s %s\n",
+		"config", "total", "other", "s/d+io", "minorGC", "majorGC", "norm", "")
+	for _, r := range rows {
+		if r.OOM {
+			fmt.Fprintf(&sb, "%-28s %10s %s\n", r.Name, "OOM", r.Note)
+			continue
+		}
+		norm := "-"
+		if normalize && base > 0 {
+			norm = fmt.Sprintf("%.3f", float64(r.B.Total())/float64(base))
+		}
+		fmt.Fprintf(&sb, "%-28s %10s %10s %10s %10s %10s %8s %s\n",
+			r.Name,
+			fmtDur(r.B.Total()),
+			fmtDur(r.B.Get(simclock.Other)),
+			fmtDur(r.B.Get(simclock.SerDesIO)),
+			fmtDur(r.B.Get(simclock.MinorGC)),
+			fmtDur(r.B.Get(simclock.MajorGC)),
+			norm, r.Note)
+	}
+	return sb.String()
+}
+
+// CSVBreakdown renders rows as CSV with columns name,total_ns,other_ns,
+// sdio_ns,minor_ns,major_ns,oom.
+func CSVBreakdown(rows []Row) string {
+	var sb strings.Builder
+	sb.WriteString("name,total_ns,other_ns,sdio_ns,minor_ns,major_ns,oom\n")
+	for _, r := range rows {
+		oom := 0
+		if r.OOM {
+			oom = 1
+		}
+		fmt.Fprintf(&sb, "%s,%d,%d,%d,%d,%d,%d\n", r.Name,
+			int64(r.B.Total()), r.B.NS[simclock.Other], r.B.NS[simclock.SerDesIO],
+			r.B.NS[simclock.MinorGC], r.B.NS[simclock.MajorGC], oom)
+	}
+	return sb.String()
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	case d >= time.Microsecond:
+		return fmt.Sprintf("%.1fus", float64(d)/float64(time.Microsecond))
+	}
+	return d.String()
+}
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value float64 // x
+	Pct   float64 // cumulative fraction in [0,100]
+}
+
+// CDF computes the empirical CDF of values.
+func CDF(values []float64) []CDFPoint {
+	if len(values) == 0 {
+		return nil
+	}
+	v := append([]float64(nil), values...)
+	sort.Float64s(v)
+	pts := make([]CDFPoint, len(v))
+	for i, x := range v {
+		pts[i] = CDFPoint{Value: x, Pct: 100 * float64(i+1) / float64(len(v))}
+	}
+	return pts
+}
+
+// CDFAt returns the fraction (0-100) of values <= x.
+func CDFAt(values []float64, x float64) float64 {
+	n := 0
+	for _, v := range values {
+		if v <= x {
+			n++
+		}
+	}
+	if len(values) == 0 {
+		return 0
+	}
+	return 100 * float64(n) / float64(len(values))
+}
+
+// FormatCDF renders a CDF as a compact quantile table.
+func FormatCDF(name string, values []float64) string {
+	if len(values) == 0 {
+		return fmt.Sprintf("%s: (no samples)\n", name)
+	}
+	v := append([]float64(nil), values...)
+	sort.Float64s(v)
+	q := func(p float64) float64 {
+		i := int(p * float64(len(v)-1))
+		return v[i]
+	}
+	return fmt.Sprintf("%s: n=%d p10=%.1f p25=%.1f p50=%.1f p75=%.1f p90=%.1f p100=%.1f\n",
+		name, len(v), q(0.10), q(0.25), q(0.50), q(0.75), q(0.90), v[len(v)-1])
+}
+
+// Speedup returns 1 - new/old as a percentage (the paper's "reduces
+// execution time by X%").
+func Speedup(baseline, improved time.Duration) float64 {
+	if baseline <= 0 {
+		return 0
+	}
+	return 100 * (1 - float64(improved)/float64(baseline))
+}

@@ -1,0 +1,99 @@
+package simclock_test
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/carv-repro/teraheap-go/internal/simclock"
+)
+
+func TestChargeAccumulates(t *testing.T) {
+	c := simclock.New()
+	c.Charge(simclock.Other, 5*time.Millisecond)
+	c.Charge(simclock.MinorGC, 2*time.Millisecond)
+	c.Charge(simclock.Other, 1*time.Millisecond)
+	b := c.Breakdown()
+	if b.Get(simclock.Other) != 6*time.Millisecond {
+		t.Fatalf("other = %v", b.Get(simclock.Other))
+	}
+	if b.Get(simclock.MinorGC) != 2*time.Millisecond {
+		t.Fatalf("minor = %v", b.Get(simclock.MinorGC))
+	}
+	if c.Now() != 8*time.Millisecond {
+		t.Fatalf("now = %v", c.Now())
+	}
+}
+
+func TestNegativeChargesIgnored(t *testing.T) {
+	c := simclock.New()
+	c.Charge(simclock.Other, -time.Second)
+	if c.Now() != 0 {
+		t.Fatalf("negative charge accepted: %v", c.Now())
+	}
+}
+
+func TestContextRouting(t *testing.T) {
+	c := simclock.New()
+	prev := c.SetContext(simclock.MajorGC)
+	if prev != simclock.Other {
+		t.Fatalf("initial context = %v", prev)
+	}
+	c.ChargeAmbient(time.Millisecond)
+	c.SetContext(prev)
+	c.ChargeAmbient(time.Millisecond)
+	b := c.Breakdown()
+	if b.Get(simclock.MajorGC) != time.Millisecond || b.Get(simclock.Other) != time.Millisecond {
+		t.Fatalf("routing wrong: %v", b)
+	}
+}
+
+func TestBreakdownSub(t *testing.T) {
+	c := simclock.New()
+	c.Charge(simclock.SerDesIO, 3*time.Millisecond)
+	snap := c.Breakdown()
+	c.Charge(simclock.SerDesIO, 4*time.Millisecond)
+	d := c.Breakdown().Sub(snap)
+	if d.Get(simclock.SerDesIO) != 4*time.Millisecond {
+		t.Fatalf("delta = %v", d.Get(simclock.SerDesIO))
+	}
+}
+
+func TestPropertyTotalEqualsSum(t *testing.T) {
+	f := func(a, b, c, d uint16) bool {
+		cl := simclock.New()
+		cl.Charge(simclock.Other, time.Duration(a))
+		cl.Charge(simclock.SerDesIO, time.Duration(b))
+		cl.Charge(simclock.MinorGC, time.Duration(c))
+		cl.Charge(simclock.MajorGC, time.Duration(d))
+		bd := cl.Breakdown()
+		return bd.Total() == time.Duration(a)+time.Duration(b)+time.Duration(c)+time.Duration(d) &&
+			cl.Now() == bd.Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := simclock.New()
+	c.Charge(simclock.Other, time.Second)
+	c.Reset()
+	if c.Now() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestCategoryNames(t *testing.T) {
+	want := map[simclock.Category]string{
+		simclock.Other:    "Other",
+		simclock.SerDesIO: "S/D + I/O",
+		simclock.MinorGC:  "Minor GC",
+		simclock.MajorGC:  "Major GC",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Fatalf("%d: %q", c, c.String())
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package storage
+
+import "time"
+
+// PageCache is an LRU cache of fixed-size pages standing in for the kernel
+// page cache (the DR2 DRAM share in the paper's configurations). Misses
+// charge a device read; evicting a dirty page charges a device write, and
+// pages that stay dirty past the writeback window are flushed the way the
+// kernel's dirty-page writeback does — so mutating device-resident data
+// keeps paying device writes (the paper's read-modify-write cost, §7.2).
+type PageCache struct {
+	dev      *Device
+	pageSize int
+	capacity int // in pages; 0 means unbounded
+
+	// WritebackWindow is the simulated dirty-page lifetime before
+	// writeback (0 disables windowed writeback).
+	WritebackWindow time.Duration
+
+	entries map[int64]*cacheEntry
+	head    *cacheEntry // most recently used
+	tail    *cacheEntry // least recently used
+
+	// Readahead state: sequential fault streams amortize device latency
+	// over SeqBatch pages, the way OS readahead turns page faults on a
+	// streaming mmap into large device reads (the paper's ML workloads
+	// reach the device's full 2.9 GB/s this way, §7.1). Several concurrent
+	// streams are tracked, as the kernel does per file region: an object
+	// walk that alternates between an index array and data arrays forms
+	// two interleaved sequential streams.
+	streams [8]raStream
+	raClock int64
+
+	// Counters.
+	Hits       int64
+	Faults     int64
+	SeqFaults  int64
+	Writebacks int64
+	Evictions  int64
+}
+
+type cacheEntry struct {
+	page       int64
+	dirty      bool
+	dirtySince time.Duration
+	prev, next *cacheEntry
+}
+
+// NewPageCache builds a cache of capacityPages pages of pageSize bytes over
+// dev. A capacity of 0 means the cache never evicts.
+func NewPageCache(dev *Device, pageSize, capacityPages int) *PageCache {
+	return &PageCache{
+		dev:             dev,
+		pageSize:        pageSize,
+		capacity:        capacityPages,
+		WritebackWindow: 200 * time.Microsecond,
+		entries:         make(map[int64]*cacheEntry),
+	}
+}
+
+// PageSize returns the page size in bytes.
+func (c *PageCache) PageSize() int { return c.pageSize }
+
+// Len returns the number of resident pages.
+func (c *PageCache) Len() int { return len(c.entries) }
+
+// Capacity returns the capacity in pages (0 = unbounded).
+func (c *PageCache) Capacity() int { return c.capacity }
+
+// Touch faults the page in if needed and marks it most-recently-used.
+// If write is true the page is marked dirty.
+func (c *PageCache) Touch(page int64, write bool) {
+	e, ok := c.entries[page]
+	if ok {
+		c.Hits++
+		c.moveToFront(e)
+		// Windowed writeback: a page that has been dirty longer than the
+		// writeback window is flushed; further writes re-dirty it and pay
+		// again.
+		if e.dirty && c.WritebackWindow > 0 {
+			if now := c.dev.clock.Now(); now-e.dirtySince >= c.WritebackWindow {
+				c.Writebacks++
+				c.dev.WriteAsync(int64(c.pageSize), c.pageSize)
+				e.dirty = false
+			}
+		}
+	} else {
+		c.Faults++
+		if c.noteFault(page) {
+			// Established sequential stream: readahead amortizes the
+			// device latency across a batched read.
+			c.SeqFaults++
+			c.dev.ReadSeqBatched(int64(c.pageSize))
+		} else {
+			c.dev.Read(int64(c.pageSize))
+		}
+		e = &cacheEntry{page: page}
+		c.entries[page] = e
+		c.pushFront(e)
+		c.evictIfNeeded()
+	}
+	if write && !e.dirty {
+		e.dirty = true
+		e.dirtySince = c.dev.clock.Now()
+	}
+}
+
+// Resident reports whether the page is currently cached.
+func (c *PageCache) Resident(page int64) bool {
+	_, ok := c.entries[page]
+	return ok
+}
+
+// FlushAll writes back every dirty page (msync-style) without evicting.
+func (c *PageCache) FlushAll() {
+	var dirtyBytes int64
+	for _, e := range c.entries {
+		if e.dirty {
+			e.dirty = false
+			c.Writebacks++
+			dirtyBytes += int64(c.pageSize)
+		}
+	}
+	if dirtyBytes > 0 {
+		c.dev.WriteSeq(dirtyBytes, c.pageSize)
+	}
+}
+
+// DropAll empties the cache, writing back dirty pages first.
+func (c *PageCache) DropAll() {
+	c.FlushAll()
+	c.entries = make(map[int64]*cacheEntry)
+	c.head, c.tail = nil, nil
+}
+
+// InvalidateRange drops any cached pages in [firstPage, lastPage] without
+// writeback; used when whole H2 regions are reclaimed (their contents are
+// dead, so dirty data need not reach the device).
+func (c *PageCache) InvalidateRange(firstPage, lastPage int64) {
+	for p := firstPage; p <= lastPage; p++ {
+		if e, ok := c.entries[p]; ok {
+			c.unlink(e)
+			delete(c.entries, p)
+		}
+	}
+}
+
+func (c *PageCache) evictIfNeeded() {
+	if c.capacity <= 0 {
+		return
+	}
+	for len(c.entries) > c.capacity {
+		victim := c.tail
+		if victim == nil {
+			return
+		}
+		if victim.dirty {
+			c.Writebacks++
+			c.dev.Write(int64(c.pageSize))
+		}
+		c.Evictions++
+		c.unlink(victim)
+		delete(c.entries, victim.page)
+	}
+}
+
+func (c *PageCache) pushFront(e *cacheEntry) {
+	e.prev = nil
+	e.next = c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *PageCache) unlink(e *cacheEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (c *PageCache) moveToFront(e *cacheEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	c.pushFront(e)
+}
+
+// raStream is one tracked sequential fault stream.
+type raStream struct {
+	next     int64 // expected next faulting page
+	run      int   // consecutive sequential faults observed
+	lastUsed int64
+}
+
+// noteFault classifies a fault against the tracked streams and reports
+// whether readahead covers it (an established stream).
+func (c *PageCache) noteFault(page int64) bool {
+	c.raClock++
+	// Match an existing stream. Gaps up to a readahead window (16 pages,
+	// 64 KB at the default page size) stay inside the already-prefetched
+	// range, so they continue the stream: kernel readahead windows grow
+	// to 128 KB and larger on streaming access.
+	for i := range c.streams {
+		s := &c.streams[i]
+		if s.run > 0 && page >= s.next && page <= s.next+16 {
+			s.next = page + 1
+			s.run++
+			s.lastUsed = c.raClock
+			return s.run >= 3
+		}
+	}
+	// Start a new stream in the least recently used slot.
+	victim := 0
+	for i := range c.streams {
+		if c.streams[i].lastUsed < c.streams[victim].lastUsed {
+			victim = i
+		}
+	}
+	c.streams[victim] = raStream{next: page + 1, run: 1, lastUsed: c.raClock}
+	return false
+}

@@ -1,0 +1,121 @@
+// Package vm defines the simulated managed-runtime object model the
+// TeraHeap reproduction is built on: a word-addressed virtual address
+// space, Java-style object headers extended with the paper's 8-byte label
+// field (§3.2), class descriptors, bump-pointer spaces, and handle-based
+// GC roots.
+//
+// Everything is expressed in terms of 8-byte words and byte addresses so
+// that the garbage collector, card tables, and TeraHeap's region machinery
+// operate exactly the way the paper describes them over OpenJDK.
+package vm
+
+import "fmt"
+
+// Addr is a byte address in the simulated virtual address space. The zero
+// value is the null reference. All object addresses are 8-byte aligned.
+type Addr uint64
+
+// NullAddr is the null reference.
+const NullAddr Addr = 0
+
+// WordSize is the size of a heap word in bytes.
+const WordSize = 8
+
+// IsNull reports whether a is the null reference.
+func (a Addr) IsNull() bool { return a == NullAddr }
+
+// Word returns the word index of a relative to base.
+func (a Addr) Word(base Addr) int64 { return int64(a-base) / WordSize }
+
+// String renders the address in hex.
+func (a Addr) String() string { return fmt.Sprintf("0x%x", uint64(a)) }
+
+// Canonical base addresses for the two heaps. H2 sits far above H1 so a
+// single comparison implements the paper's "reference range check" used by
+// the post-write barriers and the GC fencing (§4).
+const (
+	H1Base Addr = 0x0000_0001_0000_0000 // 4 GB
+	H2Base Addr = 0x0000_0100_0000_0000 // 1 TB
+)
+
+// InH2 is the reference range check: it reports whether a points into the
+// second heap. It is the single branch the paper adds to the interpreter
+// and JIT post-write barriers.
+func InH2(a Addr) bool { return a >= H2Base }
+
+// Memory is word-granularity access to a range of the address space.
+type Memory interface {
+	Load(a Addr) uint64
+	Store(a Addr, v uint64)
+}
+
+// RAM is DRAM-backed memory: a plain Go slice with no simulated access
+// cost (DRAM latency is folded into the mutator compute constants).
+type RAM struct {
+	base  Addr
+	words []uint64
+}
+
+// NewRAM allocates sizeBytes of DRAM at base.
+func NewRAM(base Addr, sizeBytes int64) *RAM {
+	return &RAM{base: base, words: make([]uint64, sizeBytes/WordSize)}
+}
+
+// Base returns the first mapped address.
+func (r *RAM) Base() Addr { return r.base }
+
+// SizeBytes returns the mapped size.
+func (r *RAM) SizeBytes() int64 { return int64(len(r.words)) * WordSize }
+
+// Load reads the word at a.
+func (r *RAM) Load(a Addr) uint64 { return r.words[a.Word(r.base)] }
+
+// Store writes the word at a.
+func (r *RAM) Store(a Addr, v uint64) { r.words[a.Word(r.base)] = v }
+
+// Mapping binds an address range to a Memory implementation.
+type Mapping struct {
+	Start, End Addr // [Start, End)
+	Mem        Memory
+}
+
+// AddressSpace routes loads and stores to the mapping covering each
+// address. It holds few mappings (H1 and H2), so lookup is a linear scan.
+type AddressSpace struct {
+	mappings []Mapping
+}
+
+// Map registers a mapping. Ranges must not overlap.
+func (as *AddressSpace) Map(start, end Addr, mem Memory) {
+	as.mappings = append(as.mappings, Mapping{Start: start, End: end, Mem: mem})
+}
+
+// Resolve returns the memory covering a, or nil.
+func (as *AddressSpace) Resolve(a Addr) Memory {
+	for i := range as.mappings {
+		m := &as.mappings[i]
+		if a >= m.Start && a < m.End {
+			return m.Mem
+		}
+	}
+	return nil
+}
+
+// Load reads the word at a. It panics on unmapped addresses: an unmapped
+// access is a simulator bug, not a recoverable condition.
+func (as *AddressSpace) Load(a Addr) uint64 {
+	m := as.Resolve(a)
+	if m == nil {
+		panic(fmt.Sprintf("vm: load from unmapped address %v", a))
+	}
+	return m.Load(a)
+}
+
+// Store writes the word at a.
+func (as *AddressSpace) Store(a Addr, v uint64) {
+	m := as.Resolve(a)
+	if m == nil {
+		panic(fmt.Sprintf("vm: store to unmapped address %v", a))
+	}
+	m.Store(a, v)
+}

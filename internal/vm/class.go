@@ -1,0 +1,104 @@
+package vm
+
+import "fmt"
+
+// ClassID indexes a class in the ClassTable. It must fit the 16-bit class
+// field of the object header.
+type ClassID uint16
+
+// ClassKind distinguishes object layouts.
+type ClassKind int
+
+// Object layout kinds.
+const (
+	// KindFixed objects have NumRefs reference fields followed by NumPrims
+	// primitive words, both fixed by the class.
+	KindFixed ClassKind = iota
+	// KindRefArray objects are arrays of references; length is per object.
+	KindRefArray
+	// KindPrimArray objects are arrays of primitive words; length is per
+	// object.
+	KindPrimArray
+)
+
+// Class describes an object layout.
+type Class struct {
+	ID   ClassID
+	Name string
+	Kind ClassKind
+
+	// NumRefs/NumPrims apply to KindFixed only.
+	NumRefs  int
+	NumPrims int
+
+	// Excluded classes are never pulled into an H2 transitive closure:
+	// the paper excludes JVM metadata (class objects, class loaders) and
+	// java.lang.ref.Reference subclasses (§3.2).
+	Excluded bool
+}
+
+// InstanceWords returns the allocation size in words for a fixed-layout
+// instance, including the header.
+func (c *Class) InstanceWords() int {
+	if c.Kind != KindFixed {
+		panic(fmt.Sprintf("vm: InstanceWords on non-fixed class %q", c.Name))
+	}
+	return HeaderWords + c.NumRefs + c.NumPrims
+}
+
+// ClassTable registers classes. ID 0 is reserved so that a zeroed header
+// word is never a valid object.
+type ClassTable struct {
+	classes []*Class
+	byName  map[string]*Class
+}
+
+// NewClassTable returns a table with the reserved class 0.
+func NewClassTable() *ClassTable {
+	t := &ClassTable{byName: make(map[string]*Class)}
+	t.classes = append(t.classes, &Class{ID: 0, Name: "<reserved>"})
+	return t
+}
+
+// Register adds a class and assigns its ID.
+func (t *ClassTable) Register(c *Class) *Class {
+	if _, dup := t.byName[c.Name]; dup {
+		panic(fmt.Sprintf("vm: duplicate class %q", c.Name))
+	}
+	if len(t.classes) >= 1<<16 {
+		panic("vm: class table full")
+	}
+	c.ID = ClassID(len(t.classes))
+	t.classes = append(t.classes, c)
+	t.byName[c.Name] = c
+	return c
+}
+
+// MustFixed registers a fixed-layout class.
+func (t *ClassTable) MustFixed(name string, numRefs, numPrims int) *Class {
+	return t.Register(&Class{Name: name, Kind: KindFixed, NumRefs: numRefs, NumPrims: numPrims})
+}
+
+// MustRefArray registers a reference-array class.
+func (t *ClassTable) MustRefArray(name string) *Class {
+	return t.Register(&Class{Name: name, Kind: KindRefArray})
+}
+
+// MustPrimArray registers a primitive-array class.
+func (t *ClassTable) MustPrimArray(name string) *Class {
+	return t.Register(&Class{Name: name, Kind: KindPrimArray})
+}
+
+// Get returns the class with the given id.
+func (t *ClassTable) Get(id ClassID) *Class {
+	if int(id) >= len(t.classes) {
+		panic(fmt.Sprintf("vm: unknown class id %d", id))
+	}
+	return t.classes[id]
+}
+
+// ByName returns the class with the given name, or nil.
+func (t *ClassTable) ByName(name string) *Class { return t.byName[name] }
+
+// Len returns the number of registered classes (including reserved 0).
+func (t *ClassTable) Len() int { return len(t.classes) }

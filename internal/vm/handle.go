@@ -1,0 +1,84 @@
+package vm
+
+// Handle is a GC root: a stable box holding an object address that the
+// collector updates when the object moves. Framework code (the simulated
+// Spark block manager, Giraph partition store, task-local temporaries)
+// holds Handles rather than raw addresses across allocation points.
+type Handle struct {
+	addr Addr
+}
+
+// Addr returns the current object address (possibly null).
+func (h *Handle) Addr() Addr { return h.addr }
+
+// Set stores a new address into the handle. No write barrier is needed:
+// handles are roots, scanned fully at every collection.
+func (h *Handle) Set(a Addr) { h.addr = a }
+
+// IsNull reports whether the handle holds the null reference.
+func (h *Handle) IsNull() bool { return h.addr.IsNull() }
+
+// RootSet tracks all live handles. Registration order is preserved so GC
+// traversal order, and therefore the whole simulation, is deterministic.
+type RootSet struct {
+	handles []*Handle
+	index   map[*Handle]int
+}
+
+// NewRootSet returns an empty root set.
+func NewRootSet() *RootSet {
+	return &RootSet{index: make(map[*Handle]int)}
+}
+
+// Create allocates a new rooted handle holding a.
+func (r *RootSet) Create(a Addr) *Handle {
+	h := &Handle{addr: a}
+	r.index[h] = len(r.handles)
+	r.handles = append(r.handles, h)
+	return h
+}
+
+// Release unroots the handle and nulls it: a released handle's address is
+// no longer maintained by the collector, so keeping it would leave a
+// dangling pointer in anything (such as TeraHeap's tagged-root registry)
+// that still sees the handle. The slot is tombstoned (nil) and compacted
+// lazily to keep Create/Release O(1).
+func (r *RootSet) Release(h *Handle) {
+	h.Set(NullAddr)
+	i, ok := r.index[h]
+	if !ok {
+		return
+	}
+	r.handles[i] = nil
+	delete(r.index, h)
+	if len(r.index)*2 < len(r.handles) && len(r.handles) > 64 {
+		r.compact()
+	}
+}
+
+func (r *RootSet) compact() {
+	live := r.handles[:0]
+	for _, h := range r.handles {
+		if h != nil {
+			r.index[h] = len(live)
+			live = append(live, h)
+		}
+	}
+	// Clear the tail so released handles do not linger.
+	for i := len(live); i < len(r.handles); i++ {
+		r.handles[i] = nil
+	}
+	r.handles = live
+}
+
+// Len returns the number of live handles.
+func (r *RootSet) Len() int { return len(r.index) }
+
+// ForEach visits every live handle in registration order.
+func (r *RootSet) ForEach(fn func(h *Handle)) {
+	for _, h := range r.handles {
+		if h != nil {
+			fn(h)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package vm
+
+import "fmt"
+
+// Space is a contiguous bump-pointer allocation space (eden, a survivor
+// space, the old generation, or an H2 region).
+type Space struct {
+	Name  string
+	Start Addr
+	End   Addr // exclusive
+	Top   Addr // next free address
+}
+
+// NewSpace builds a space over [start, start+sizeBytes).
+func NewSpace(name string, start Addr, sizeBytes int64) *Space {
+	return &Space{Name: name, Start: start, End: start + Addr(sizeBytes), Top: start}
+}
+
+// Alloc bumps the pointer by words*WordSize. It returns the address and
+// whether the allocation fit.
+func (s *Space) Alloc(words int) (Addr, bool) {
+	need := Addr(words * WordSize)
+	if s.Top+need > s.End {
+		return NullAddr, false
+	}
+	a := s.Top
+	s.Top += need
+	return a, true
+}
+
+// Contains reports whether a falls inside the space bounds.
+func (s *Space) Contains(a Addr) bool { return a >= s.Start && a < s.End }
+
+// Used returns the allocated bytes.
+func (s *Space) Used() int64 { return int64(s.Top - s.Start) }
+
+// Capacity returns the total bytes.
+func (s *Space) Capacity() int64 { return int64(s.End - s.Start) }
+
+// Free returns the remaining bytes.
+func (s *Space) Free() int64 { return int64(s.End - s.Top) }
+
+// Reset empties the space.
+func (s *Space) Reset() { s.Top = s.Start }
+
+// String summarizes the space.
+func (s *Space) String() string {
+	return fmt.Sprintf("%s[%v,%v) used=%d/%d", s.Name, s.Start, s.End, s.Used(), s.Capacity())
+}
+
+// Walk iterates objects in [Start, Top) in address order, calling fn with
+// each object address. fn must not allocate into the space.
+func (s *Space) Walk(m *Mem, fn func(a Addr)) {
+	for a := s.Start; a < s.Top; {
+		size := m.SizeWords(a)
+		if size < HeaderWords {
+			panic(fmt.Sprintf("vm: corrupt object at %v in %s (size %d)", a, s.Name, size))
+		}
+		fn(a)
+		a += Addr(size * WordSize)
+	}
+}

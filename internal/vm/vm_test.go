@@ -1,0 +1,205 @@
+package vm_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/carv-repro/teraheap-go/internal/vm"
+)
+
+func newMem(size int64) (*vm.Mem, *vm.ClassTable) {
+	classes := vm.NewClassTable()
+	as := &vm.AddressSpace{}
+	as.Map(vm.H1Base, vm.H1Base+vm.Addr(size), vm.NewRAM(vm.H1Base, size))
+	return vm.NewMem(as, classes), classes
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	m, classes := newMem(1 << 16)
+	c := classes.MustFixed("T", 2, 3)
+	a := vm.H1Base
+	m.InitObject(a, c, 2, c.InstanceWords())
+
+	if m.ClassOf(a) != c {
+		t.Fatal("class mismatch")
+	}
+	if m.SizeWords(a) != vm.HeaderWords+5 {
+		t.Fatalf("size = %d", m.SizeWords(a))
+	}
+	if m.NumRefs(a) != 2 || m.NumPrims(a) != 3 {
+		t.Fatalf("refs=%d prims=%d", m.NumRefs(a), m.NumPrims(a))
+	}
+	if m.Marked(a) || m.InClosure(a) || m.Forwarded(a) || m.Age(a) != 0 || m.Label(a) != 0 {
+		t.Fatal("fresh object has dirty flags")
+	}
+}
+
+func TestFlagIndependence(t *testing.T) {
+	m, classes := newMem(1 << 16)
+	c := classes.MustFixed("T", 1, 1)
+	a := vm.H1Base
+	m.InitObject(a, c, 1, c.InstanceWords())
+
+	m.SetMarked(a, true)
+	m.SetInClosure(a, true)
+	m.SetAge(a, 7)
+	m.SetLabel(a, 99)
+	if !m.Marked(a) || !m.InClosure(a) || m.Age(a) != 7 || m.Label(a) != 99 {
+		t.Fatal("flag set lost")
+	}
+	if m.ClassOf(a) != c {
+		t.Fatal("flags clobbered the class id")
+	}
+	m.SetMarked(a, false)
+	if m.Marked(a) || !m.InClosure(a) {
+		t.Fatal("clearing mark affected closure bit")
+	}
+}
+
+func TestAgeClampsAtMax(t *testing.T) {
+	m, classes := newMem(1 << 16)
+	c := classes.MustFixed("T", 0, 1)
+	a := vm.H1Base
+	m.InitObject(a, c, 0, c.InstanceWords())
+	m.SetAge(a, 1000)
+	if m.Age(a) != vm.MaxAge {
+		t.Fatalf("age = %d, want %d", m.Age(a), vm.MaxAge)
+	}
+}
+
+func TestForwardingPointer(t *testing.T) {
+	m, classes := newMem(1 << 16)
+	c := classes.MustFixed("T", 0, 1)
+	a := vm.H1Base
+	m.InitObject(a, c, 0, c.InstanceWords())
+	to := vm.H1Base + 4096
+	m.SetForwardee(a, to)
+	if !m.Forwarded(a) {
+		t.Fatal("not forwarded")
+	}
+	if m.Forwardee(a) != to {
+		t.Fatalf("forwardee = %v", m.Forwardee(a))
+	}
+}
+
+func TestPrimAndRefFieldsDoNotOverlap(t *testing.T) {
+	m, classes := newMem(1 << 16)
+	c := classes.MustFixed("T", 3, 3)
+	a := vm.H1Base
+	m.InitObject(a, c, 3, c.InstanceWords())
+	for i := 0; i < 3; i++ {
+		m.SetRefAt(a, i, vm.H1Base+vm.Addr(8*(i+100)))
+		m.SetPrimAt(a, i, uint64(1000+i))
+	}
+	for i := 0; i < 3; i++ {
+		if m.RefAt(a, i) != vm.H1Base+vm.Addr(8*(i+100)) {
+			t.Fatalf("ref %d corrupted", i)
+		}
+		if m.PrimAt(a, i) != uint64(1000+i) {
+			t.Fatalf("prim %d corrupted", i)
+		}
+	}
+}
+
+func TestPropertyPrimRoundTrip(t *testing.T) {
+	m, classes := newMem(1 << 20)
+	c := classes.MustPrimArray("long[]")
+	a := vm.H1Base
+	const n = 64
+	m.InitObject(a, c, 0, vm.HeaderWords+n)
+	f := func(i uint8, v uint64) bool {
+		idx := int(i) % n
+		m.SetPrimAt(a, idx, v)
+		return m.PrimAt(a, idx) == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpaceAllocBounds(t *testing.T) {
+	s := vm.NewSpace("t", vm.H1Base, 64)
+	a, ok := s.Alloc(4) // 32 bytes
+	if !ok || a != vm.H1Base {
+		t.Fatalf("first alloc: %v %v", a, ok)
+	}
+	b, ok := s.Alloc(4)
+	if !ok || b != vm.H1Base+32 {
+		t.Fatalf("second alloc: %v %v", b, ok)
+	}
+	if _, ok := s.Alloc(1); ok {
+		t.Fatal("overflow alloc succeeded")
+	}
+	if s.Used() != 64 || s.Free() != 0 {
+		t.Fatalf("used=%d free=%d", s.Used(), s.Free())
+	}
+	s.Reset()
+	if s.Used() != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+func TestRootSetCreateReleaseCompact(t *testing.T) {
+	r := vm.NewRootSet()
+	var hs []*vm.Handle
+	for i := 0; i < 200; i++ {
+		hs = append(hs, r.Create(vm.H1Base+vm.Addr(i*8)))
+	}
+	for i := 0; i < 150; i++ {
+		r.Release(hs[i])
+	}
+	if r.Len() != 50 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	seen := 0
+	r.ForEach(func(h *vm.Handle) { seen++ })
+	if seen != 50 {
+		t.Fatalf("forEach visited %d", seen)
+	}
+	// Released handles are nulled.
+	if !hs[0].IsNull() {
+		t.Fatal("released handle not nulled")
+	}
+	// Double release is harmless.
+	r.Release(hs[0])
+	if r.Len() != 50 {
+		t.Fatal("double release changed len")
+	}
+}
+
+func TestInH2RangeCheck(t *testing.T) {
+	if vm.InH2(vm.H1Base) {
+		t.Fatal("H1 address classified as H2")
+	}
+	if !vm.InH2(vm.H2Base) {
+		t.Fatal("H2 base not classified as H2")
+	}
+}
+
+func TestClassTableRegistration(t *testing.T) {
+	ct := vm.NewClassTable()
+	c := ct.MustFixed("a.B", 1, 2)
+	if ct.ByName("a.B") != c || ct.Get(c.ID) != c {
+		t.Fatal("lookup failed")
+	}
+	if ct.ByName("missing") != nil {
+		t.Fatal("phantom class")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	ct.MustFixed("a.B", 0, 0)
+}
+
+func TestAddressSpaceUnmappedPanics(t *testing.T) {
+	as := &vm.AddressSpace{}
+	as.Map(vm.H1Base, vm.H1Base+4096, vm.NewRAM(vm.H1Base, 4096))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unmapped load did not panic")
+		}
+	}()
+	as.Load(vm.H1Base + 8192)
+}

@@ -1,0 +1,79 @@
+// Package workloads generates the synthetic datasets driving the
+// experiments: power-law graphs standing in for the LDBC datagen social
+// graphs, labeled points standing in for the SparkBench ML generators, and
+// relational rows for the SQL workload. All generation is deterministic
+// given a seed.
+package workloads
+
+import "math"
+
+// Rand is a small deterministic PRNG (splitmix64) so every experiment is
+// exactly reproducible.
+type Rand struct {
+	state uint64
+}
+
+// NewRand seeds a generator.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform int in [0, n).
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("workloads: Intn on non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// NormFloat64 returns a standard normal sample (Box–Muller).
+func (r *Rand) NormFloat64() float64 {
+	u1 := r.Float64()
+	if u1 < 1e-12 {
+		u1 = 1e-12
+	}
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Zipf returns a sample in [0, n) with P(k) ∝ 1/(k+1)^s using inverse
+// transform over a precomputed CDF is too costly per call, so it uses the
+// rejection-inversion-free approximation adequate for degree skew.
+func (r *Rand) Zipf(n int, s float64) int {
+	if n <= 1 {
+		return 0
+	}
+	// Inverse-CDF approximation for the continuous analogue.
+	u := r.Float64()
+	if s == 1 {
+		k := int(math.Pow(float64(n), u)) - 1
+		if k < 0 {
+			k = 0
+		}
+		if k >= n {
+			k = n - 1
+		}
+		return k
+	}
+	x := math.Pow(u*(math.Pow(float64(n), 1-s)-1)+1, 1/(1-s)) - 1
+	k := int(x)
+	if k < 0 {
+		k = 0
+	}
+	if k >= n {
+		k = n - 1
+	}
+	return k
+}
