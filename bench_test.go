@@ -13,6 +13,7 @@
 package teraheap
 
 import (
+	"runtime"
 	"testing"
 
 	"github.com/carv-repro/teraheap-go/internal/core"
@@ -321,6 +322,47 @@ func BenchmarkAblationGroupMode(b *testing.B) {
 			b.Fatal("empty result")
 		}
 	}
+}
+
+// --- Parallel suite execution ------------------------------------------------
+
+// suiteSpecs is a representative slice of the full evaluation: every Fig 6
+// Spark and Giraph configuration (30 runs), the kind of fan-out "all" and
+// the figure enumerators hand to the executor.
+func suiteSpecs() []experiments.Spec {
+	var specs []experiments.Spec
+	for _, w := range experiments.SparkWorkloads() {
+		specs = append(specs, experiments.Fig6SparkSpecs(w)...)
+	}
+	for _, w := range experiments.GiraphWorkloads() {
+		specs = append(specs, experiments.Fig6GiraphSpecs(w)...)
+	}
+	return specs
+}
+
+// BenchmarkSuiteParallel compares the executor at -j 1 against
+// -j GOMAXPROCS over the Fig 6 spec list. On a multi-core machine the
+// parallel variant approaches linear speedup; results are merged in
+// submission order either way, so outputs are identical.
+func BenchmarkSuiteParallel(b *testing.B) {
+	specs := suiteSpecs()
+	b.Run("j1", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runs := experiments.RunAllWorkers(specs, 1)
+			if len(runs) != len(specs) {
+				b.Fatalf("got %d results, want %d", len(runs), len(specs))
+			}
+		}
+	})
+	b.Run("jmax", func(b *testing.B) {
+		workers := runtime.GOMAXPROCS(0)
+		for i := 0; i < b.N; i++ {
+			runs := experiments.RunAllWorkers(specs, workers)
+			if len(runs) != len(specs) {
+				b.Fatalf("got %d results, want %d", len(runs), len(specs))
+			}
+		}
+	})
 }
 
 // --- Extension ablations (the paper's future work, implemented) -------------

@@ -2,139 +2,185 @@
 //
 // Usage:
 //
-//	teraheap-bench <experiment> [workload]
+//	teraheap-bench [-csv] [-j N] <experiment> [workload]
 //
 // Experiments: fig6-spark, fig6-giraph, fig7, fig8, fig9a, fig9b, fig10,
 // fig11a, fig11b, fig12a, fig12b, fig12c, fig13a, fig13b, table5,
-// barrier, ablation-groups, all.
+// barrier, ablation-*, all.
+//
+// -j N sets the experiment executor's worker count (default: GOMAXPROCS).
+// Results merge in submission order, so figure output on stdout is
+// byte-identical for every -j; "all" additionally reports per-figure
+// wall-clock times on stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"time"
 
 	"github.com/carv-repro/teraheap-go/internal/experiments"
 	"github.com/carv-repro/teraheap-go/internal/metrics"
+	"github.com/carv-repro/teraheap-go/internal/runner"
+	"github.com/carv-repro/teraheap-go/internal/workloads"
 )
 
-var csvOut = flag.Bool("csv", false, "emit fig6 results as CSV instead of tables")
-
 func main() {
-	flag.Parse()
-	if flag.NArg() < 1 {
-		usage()
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// suite lists every experiment of the §6-§7 evaluation in "all" order.
+var suite = []struct {
+	name string
+	fn   func() string
+}{
+	{"fig6-spark", experiments.Fig6SparkAll},
+	{"fig6-giraph", experiments.Fig6GiraphAll},
+	{"fig7", func() string { return experiments.Fig7().Format() }},
+	{"fig8", experiments.Fig8},
+	{"fig9a", experiments.Fig9a},
+	{"fig9b", experiments.Fig9b},
+	{"fig10", experiments.Fig10},
+	{"fig11a", experiments.Fig11a},
+	{"fig11b", experiments.Fig11b},
+	{"fig12a", experiments.Fig12a},
+	{"fig12b", experiments.Fig12b},
+	{"fig12c", experiments.Fig12c},
+	{"fig13a", experiments.Fig13a},
+	{"fig13b", experiments.Fig13b},
+	{"table5", experiments.Table5},
+	{"barrier", experiments.BarrierOverhead},
+	{"ablation-groups", experiments.AblationGroupMode},
+	{"ablation-striping", experiments.AblationStriping},
+	{"ablation-hugepages", experiments.AblationHugePages},
+	{"ablation-dynamic", experiments.AblationDynamicThresholds},
+	{"ablation-sizeseg", experiments.AblationSizeSegregation},
+	{"ablation-g1th", experiments.AblationG1TeraHeap},
+}
+
+// run executes the CLI and returns its exit code (testable main).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("teraheap-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	csvOut := fs.Bool("csv", false, "emit fig6/fig7 results as CSV instead of tables")
+	jobs := fs.Int("j", 0, "parallel experiment runs (0 = GOMAXPROCS)")
+	compare := fs.Bool("compare", false, "with \"all\": rerun the suite at -j 1 and report the speedup")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	what := flag.Arg(0)
-	arg := flag.Arg(1)
+	if fs.NArg() < 1 {
+		usage(stderr)
+		return 2
+	}
+	prev := runner.SetDefaultWorkers(*jobs)
+	defer runner.SetDefaultWorkers(prev)
+
+	what := fs.Arg(0)
+	arg := fs.Arg(1)
 	switch what {
 	case "fig6-spark":
 		if arg != "" {
+			if !contains(experiments.SparkWorkloads(), arg) {
+				fmt.Fprintf(stderr, "teraheap-bench: unknown Spark workload %q (valid: %v)\n", arg, experiments.SparkWorkloads())
+				return 2
+			}
 			r := experiments.Fig6Spark(arg)
 			if *csvOut {
-				fmt.Print(metrics.CSVBreakdown(r.Rows))
+				fmt.Fprint(stdout, metrics.CSVBreakdown(r.Rows))
 			} else {
-				fmt.Print(metrics.FormatBreakdown("Fig 6 Spark-"+arg, r.Rows, true))
+				fmt.Fprint(stdout, metrics.FormatBreakdown("Fig 6 Spark-"+arg, r.Rows, true))
 			}
 		} else if *csvOut {
 			for _, w := range experiments.SparkWorkloads() {
-				fmt.Print(metrics.CSVBreakdown(experiments.Fig6Spark(w).Rows))
+				fmt.Fprint(stdout, metrics.CSVBreakdown(experiments.Fig6Spark(w).Rows))
 			}
 		} else {
-			fmt.Print(experiments.Fig6SparkAll())
+			fmt.Fprint(stdout, experiments.Fig6SparkAll())
 		}
 	case "fig6-giraph":
 		if arg != "" {
+			if !contains(experiments.GiraphWorkloads(), arg) {
+				fmt.Fprintf(stderr, "teraheap-bench: unknown Giraph workload %q (valid: %v)\n", arg, experiments.GiraphWorkloads())
+				return 2
+			}
 			r := experiments.Fig6Giraph(arg)
 			if *csvOut {
-				fmt.Print(metrics.CSVBreakdown(r.Rows))
+				fmt.Fprint(stdout, metrics.CSVBreakdown(r.Rows))
 			} else {
-				fmt.Print(metrics.FormatBreakdown("Fig 6 Giraph-"+arg, r.Rows, true))
+				fmt.Fprint(stdout, metrics.FormatBreakdown("Fig 6 Giraph-"+arg, r.Rows, true))
 			}
 		} else if *csvOut {
 			for _, w := range experiments.GiraphWorkloads() {
-				fmt.Print(metrics.CSVBreakdown(experiments.Fig6Giraph(w).Rows))
+				fmt.Fprint(stdout, metrics.CSVBreakdown(experiments.Fig6Giraph(w).Rows))
 			}
 		} else {
-			fmt.Print(experiments.Fig6GiraphAll())
+			fmt.Fprint(stdout, experiments.Fig6GiraphAll())
 		}
 	case "fig7":
 		r := experiments.Fig7()
 		if *csvOut {
-			fmt.Print(r.CSV())
+			fmt.Fprint(stdout, r.CSV())
 		} else {
-			fmt.Print(r.Format())
+			fmt.Fprint(stdout, r.Format())
 		}
-	case "fig8":
-		fmt.Print(experiments.Fig8())
-	case "fig9a":
-		fmt.Print(experiments.Fig9a())
-	case "fig9b":
-		fmt.Print(experiments.Fig9b())
-	case "fig10":
-		fmt.Print(experiments.Fig10())
-	case "fig11a":
-		fmt.Print(experiments.Fig11a())
-	case "fig11b":
-		fmt.Print(experiments.Fig11b())
-	case "fig12a":
-		fmt.Print(experiments.Fig12a())
-	case "fig12b":
-		fmt.Print(experiments.Fig12b())
-	case "fig12c":
-		fmt.Print(experiments.Fig12c())
-	case "fig13a":
-		fmt.Print(experiments.Fig13a())
-	case "fig13b":
-		fmt.Print(experiments.Fig13b())
-	case "table5":
-		fmt.Print(experiments.Table5())
-	case "barrier":
-		fmt.Print(experiments.BarrierOverhead())
-	case "ablation-groups":
-		fmt.Print(experiments.AblationGroupMode())
-	case "ablation-striping":
-		fmt.Print(experiments.AblationStriping())
-	case "ablation-hugepages":
-		fmt.Print(experiments.AblationHugePages())
-	case "ablation-dynamic":
-		fmt.Print(experiments.AblationDynamicThresholds())
-	case "ablation-sizeseg":
-		fmt.Print(experiments.AblationSizeSegregation())
-	case "ablation-g1th":
-		fmt.Print(experiments.AblationG1TeraHeap())
 	case "all":
-		fmt.Print(experiments.Fig6SparkAll())
-		fmt.Print(experiments.Fig6GiraphAll())
-		fmt.Print(experiments.Fig7().Format())
-		fmt.Print(experiments.Fig8())
-		fmt.Print(experiments.Fig9a())
-		fmt.Print(experiments.Fig9b())
-		fmt.Print(experiments.Fig10())
-		fmt.Print(experiments.Fig11a())
-		fmt.Print(experiments.Fig11b())
-		fmt.Print(experiments.Fig12a())
-		fmt.Print(experiments.Fig12b())
-		fmt.Print(experiments.Fig12c())
-		fmt.Print(experiments.Fig13a())
-		fmt.Print(experiments.Fig13b())
-		fmt.Print(experiments.Table5())
-		fmt.Print(experiments.BarrierOverhead())
-		fmt.Print(experiments.AblationGroupMode())
-		fmt.Print(experiments.AblationStriping())
-		fmt.Print(experiments.AblationHugePages())
-		fmt.Print(experiments.AblationDynamicThresholds())
-		fmt.Print(experiments.AblationSizeSegregation())
-		fmt.Print(experiments.AblationG1TeraHeap())
+		parallel := runAll(stdout, stderr)
+		if *compare {
+			runner.SetDefaultWorkers(1)
+			workloads.ResetCaches() // serial rerun regenerates datasets too
+			fmt.Fprintf(stderr, "# rerunning at -j 1 for comparison\n")
+			serial := runAll(io.Discard, stderr)
+			fmt.Fprintf(stderr, "# speedup vs -j 1: %.2fx (parallel %v, serial %v)\n",
+				float64(serial)/float64(parallel), parallel.Round(time.Millisecond),
+				serial.Round(time.Millisecond))
+		}
 	default:
-		usage()
-		os.Exit(2)
+		ran := false
+		for _, e := range suite {
+			if e.name == what {
+				fmt.Fprint(stdout, e.fn())
+				ran = true
+				break
+			}
+		}
+		if !ran {
+			fmt.Fprintf(stderr, "teraheap-bench: unknown experiment %q\n\n", what)
+			usage(stderr)
+			return 2
+		}
 	}
+	return 0
 }
 
-func usage() {
-	fmt.Fprintln(os.Stderr, `usage: teraheap-bench [-csv] <experiment> [workload]
+// runAll runs the whole suite, streaming figure text to stdout and
+// per-figure wall-clock timings to stderr, and returns the total
+// wall-clock time.
+func runAll(stdout, stderr io.Writer) time.Duration {
+	start := time.Now()
+	for _, e := range suite {
+		figStart := time.Now()
+		out := e.fn()
+		fmt.Fprint(stdout, out)
+		fmt.Fprintf(stderr, "# %-18s %10v\n", e.name, time.Since(figStart).Round(time.Millisecond))
+	}
+	total := time.Since(start)
+	fmt.Fprintf(stderr, "# %-18s %10v (-j %d)\n", "total", total.Round(time.Millisecond), runner.DefaultWorkers())
+	return total
+}
+
+func contains(xs []string, s string) bool {
+	for _, x := range xs {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, `usage: teraheap-bench [-csv] [-j N] [-compare] <experiment> [workload]
 
 experiments:
   fig6-spark [PR|CC|SSSP|SVD|TR|LR|LgR|SVM|BC|RL]
@@ -143,5 +189,11 @@ experiments:
   fig12a fig12b fig12c fig13a fig13b
   table5 barrier all
   ablation-groups ablation-striping ablation-hugepages
-  ablation-dynamic ablation-sizeseg ablation-g1th`)
+  ablation-dynamic ablation-sizeseg ablation-g1th
+
+flags:
+  -j N       run N experiment configurations in parallel (0 = GOMAXPROCS);
+             output is byte-identical for every -j
+  -compare   with "all": rerun at -j 1 and report the measured speedup
+  -csv       emit fig6/fig7 results as CSV`)
 }

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUnknownExperiment(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"fig99"}, &stdout, &stderr)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("unknown experiment wrote to stdout: %q", stdout.String())
+	}
+	msg := stderr.String()
+	if !strings.Contains(msg, `unknown experiment "fig99"`) {
+		t.Errorf("stderr missing unknown-experiment message:\n%s", msg)
+	}
+	// The error must list the valid subcommands.
+	for _, want := range []string{"fig6-spark", "fig13b", "table5", "ablation-sizeseg", "all"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("stderr usage missing subcommand %q:\n%s", want, msg)
+		}
+	}
+}
+
+func TestUnknownWorkloadArg(t *testing.T) {
+	for _, sub := range []string{"fig6-spark", "fig6-giraph"} {
+		var stdout, stderr strings.Builder
+		if code := run([]string{sub, "BOGUS"}, &stdout, &stderr); code != 2 {
+			t.Fatalf("%s BOGUS: exit code = %d, want 2", sub, code)
+		}
+		if !strings.Contains(stderr.String(), `unknown`) || !strings.Contains(stderr.String(), "BOGUS") {
+			t.Errorf("%s BOGUS: stderr missing workload error:\n%s", sub, stderr.String())
+		}
+	}
+}
+
+func TestNoArgsUsage(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run(nil, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "usage: teraheap-bench") {
+		t.Errorf("stderr missing usage:\n%s", stderr.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-nosuchflag", "fig7"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+}
+
+// TestSuiteCoversRegisteredExperiments pins that each suite entry is
+// reachable as a subcommand spelled exactly like its "all" entry.
+func TestSuiteNamesUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, e := range suite {
+		if seen[e.name] {
+			t.Errorf("duplicate suite entry %q", e.name)
+		}
+		seen[e.name] = true
+	}
+}

@@ -188,12 +188,20 @@ func (g *G1) mixedEvacuate() (int64, int, error) {
 	if len(cands) == 0 {
 		return 0, 0, nil
 	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].live < cands[j].live })
+	// Sort with an id tie-break so equal-liveness regions keep a stable
+	// order and the whole simulation stays deterministic.
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].live != cands[j].live {
+			return cands[i].live < cands[j].live
+		}
+		return cands[i].id < cands[j].id
+	})
 	// Bound the collection set by free-region capacity (keep 4 in
 	// reserve) and by an eighth of the old regions per cycle.
 	maxCS := len(g.old)/4 + 1
 	var csLive int64
 	cs := make(map[int]bool)
+	var csIDs []int // selection order; evacuation must not depend on map order
 	for _, c := range cands {
 		if len(cs) >= maxCS {
 			break
@@ -203,6 +211,7 @@ func (g *G1) mixedEvacuate() (int64, int, error) {
 			break
 		}
 		cs[c.id] = true
+		csIDs = append(csIDs, c.id)
 	}
 	if len(cs) == 0 {
 		return 0, 0, nil
@@ -211,7 +220,7 @@ func (g *G1) mixedEvacuate() (int64, int, error) {
 	// Evacuate live (marked) objects.
 	var moved int64
 	var dst *region
-	for id := range cs {
+	for _, id := range csIDs {
 		r := g.regions[id]
 		for a := r.start; a < r.top; {
 			if g.mem.Forwarded(a) {

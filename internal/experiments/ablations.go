@@ -9,6 +9,7 @@ import (
 	"github.com/carv-repro/teraheap-go/internal/giraph"
 	"github.com/carv-repro/teraheap-go/internal/metrics"
 	"github.com/carv-repro/teraheap-go/internal/rt"
+	"github.com/carv-repro/teraheap-go/internal/runner"
 	"github.com/carv-repro/teraheap-go/internal/simclock"
 	"github.com/carv-repro/teraheap-go/internal/storage"
 	"github.com/carv-repro/teraheap-go/internal/vm"
@@ -37,11 +38,17 @@ func rtNewJVM(thCfg core.Config, classes *vm.ClassTable, clock *simclock.Clock) 
 // device's read bandwidth, so striping H2 across devices shrinks the
 // mutator's I/O wait.
 func AblationStriping() string {
+	stripes := []int{1, 2, 4}
+	var specs []Spec
+	for _, n := range stripes {
+		specs = append(specs, SparkSpec(SparkRun{Workload: "LR", Runtime: RuntimeTH, DramGB: 70, Stripes: n}))
+	}
+	runs := RunAll(specs)
 	var sb strings.Builder
 	sb.WriteString("== ablation: H2 striped across N NVMe SSDs (Spark LR) ==\n")
 	fmt.Fprintf(&sb, "%-8s %12s %12s\n", "devices", "total", "other")
-	for _, n := range []int{1, 2, 4} {
-		r := RunSpark(SparkRun{Workload: "LR", Runtime: RuntimeTH, DramGB: 70, Stripes: n})
+	for i, n := range stripes {
+		r := runs[i]
 		fmt.Fprintf(&sb, "%-8d %12v %12v\n", n,
 			r.B.Total().Round(time.Microsecond),
 			r.B.Get(simclock.Other).Round(time.Microsecond))
@@ -52,20 +59,26 @@ func AblationStriping() string {
 // AblationHugePages quantifies the HugeMap configuration (§6): 2 MB
 // mappings for the streaming ML workloads reduce page-fault frequency.
 func AblationHugePages() string {
-	var sb strings.Builder
-	sb.WriteString("== ablation: H2 page size (Spark LR, streaming reads) ==\n")
-	fmt.Fprintf(&sb, "%-10s %12s %12s %10s\n", "pagesize", "total", "other", "faults")
-	for _, ps := range []struct {
+	pageSizes := []struct {
 		label string
 		size  int
 	}{
 		{"4KB", 4 * storage.KB},
 		{"64KB", 64 * storage.KB},
 		{"256KB", 256 * storage.KB},
-	} {
+	}
+	var specs []Spec
+	for _, ps := range pageSizes {
 		size := ps.size
-		r := RunSpark(SparkRun{Workload: "LR", Runtime: RuntimeTH, DramGB: 70,
-			THConfig: func(c *core.Config) { c.PageSize = size }})
+		specs = append(specs, SparkSpec(SparkRun{Workload: "LR", Runtime: RuntimeTH, DramGB: 70,
+			THConfig: func(c *core.Config) { c.PageSize = size }}))
+	}
+	runs := RunAll(specs)
+	var sb strings.Builder
+	sb.WriteString("== ablation: H2 page size (Spark LR, streaming reads) ==\n")
+	fmt.Fprintf(&sb, "%-10s %12s %12s %10s\n", "pagesize", "total", "other", "faults")
+	for i, ps := range pageSizes {
+		r := runs[i]
 		fmt.Fprintf(&sb, "%-10s %12v %12v %10d\n", ps.label,
 			r.B.Total().Round(time.Microsecond),
 			r.B.Get(simclock.Other).Round(time.Microsecond),
@@ -80,16 +93,16 @@ func AblationHugePages() string {
 // without the move hint): repeated high-threshold trips teach the
 // controller to evacuate deeper, cutting the trip count.
 func AblationDynamicThresholds() string {
-	run := func(dynamic bool) RunResult {
-		return RunGiraph(GiraphRun{Workload: "CDLP", Mode: giraph.ModeTH, DramGB: 74,
+	spec := func(dynamic bool) Spec {
+		return GiraphSpec(GiraphRun{Workload: "CDLP", Mode: giraph.ModeTH, DramGB: 74,
 			THConfig: func(c *core.Config) {
 				c.EnableMoveHint = false
 				c.LowThreshold = 0.75 // deliberately conservative start
 				c.Ext.DynamicThresholds = dynamic
 			}})
 	}
-	static := run(false)
-	dynamic := run(true)
+	runs := RunAll([]Spec{spec(false), spec(true)})
+	static, dynamic := runs[0], runs[1]
 	var adj int64
 	var low float64
 	if dynamic.THStats != nil {
@@ -110,13 +123,20 @@ func AblationDynamicThresholds() string {
 // S/D of the off-heap cache and takes the long-lived (and humongous)
 // cached data out of G1's regions.
 func AblationG1TeraHeap() string {
+	workloads := []string{"LR", "RL"}
+	var specs []Spec
+	for _, w := range workloads {
+		dram := sparkSpecs[w].thDramGB[len(sparkSpecs[w].thDramGB)-1]
+		specs = append(specs,
+			SparkSpec(SparkRun{Workload: w, Runtime: RuntimeG1, DramGB: dram}),
+			SparkSpec(SparkRun{Workload: w, Runtime: RuntimeG1TH, DramGB: dram}))
+	}
+	runs := RunAll(specs)
 	var sb strings.Builder
 	sb.WriteString("== ablation: G1 vs G1+TeraHeap (§7.1 integration) ==\n")
 	var rows []metrics.Row
-	for _, w := range []string{"LR", "RL"} {
-		dram := sparkSpecs[w].thDramGB[len(sparkSpecs[w].thDramGB)-1]
-		plain := RunSpark(SparkRun{Workload: w, Runtime: RuntimeG1, DramGB: dram})
-		combo := RunSpark(SparkRun{Workload: w, Runtime: RuntimeG1TH, DramGB: dram})
+	for i, w := range workloads {
+		plain, combo := runs[2*i], runs[2*i+1]
 		rows = append(rows,
 			metrics.Row{Name: w + "/G1", B: plain.B, OOM: plain.OOM},
 			metrics.Row{Name: w + "/G1+TH", B: combo.B, OOM: combo.OOM})
@@ -140,6 +160,7 @@ func trips(r RunResult) int64 {
 // arrays; segregation gives the big arrays their own regions, which die
 // clean and are reclaimed in bulk.
 func AblationSizeSegregation() string {
+	type segResult struct{ reclaimed, liveKB int64 }
 	run := func(seg bool) (reclaimed int64, liveKB int64) {
 		clock := simclock.New()
 		classes := vmClassesForSizeSeg()
@@ -201,9 +222,13 @@ func AblationSizeSegregation() string {
 		th := jvm.TeraHeap()
 		return th.Stats().RegionsReclaimed, th.UsedBytes() / 1024
 	}
-	offR, offLive := run(false)
-	onR, onLive := run(true)
+	// Ablation-style closures go through the executor too: index 0 is the
+	// default placement, index 1 the segregated one.
+	rs := runner.Map(2, func(i int) segResult {
+		r, live := run(i == 1)
+		return segResult{reclaimed: r, liveKB: live}
+	})
 	return fmt.Sprintf("== ablation: size-segregated H2 placement (mixed-lifetime groups) ==\n"+
 		"%-12s regionsReclaimed=%-4d h2LiveKB=%d\n%-12s regionsReclaimed=%-4d h2LiveKB=%d\n",
-		"default", offR, offLive, "segregated", onR, onLive)
+		"default", rs[0].reclaimed, rs[0].liveKB, "segregated", rs[1].reclaimed, rs[1].liveKB)
 }

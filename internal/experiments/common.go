@@ -111,6 +111,11 @@ type sparkSpec struct {
 	run       func(ctx *spark.Context, datasetBytes int64) (float64, error)
 }
 
+// The dataset constructors below go through the workloads memo cache:
+// the generators are pure functions of their parameters, so every run of
+// the same workload at the same scale shares one generation pass and one
+// immutable in-memory dataset (the partition builders only read it).
+
 // graph sizing: edges ≈ datasetBytes/16 (8B edge word + headers + ids),
 // degree 8.
 func graphFromBytes(seed uint64, datasetBytes int64) *workloads.Graph {
@@ -120,7 +125,7 @@ func graphFromBytes(seed uint64, datasetBytes int64) *workloads.Graph {
 	if n < 64 {
 		n = 64
 	}
-	return workloads.GenGraph(seed, n, deg, 0.8)
+	return workloads.CachedGraph(seed, n, deg, 0.8)
 }
 
 // giraphGraphFromBytes sizes Giraph graphs: each edge entry is two heap
@@ -132,7 +137,7 @@ func giraphGraphFromBytes(seed uint64, datasetBytes int64) *workloads.Graph {
 	if n < 64 {
 		n = 64
 	}
-	return workloads.GenGraph(seed, n, deg, 0.8)
+	return workloads.CachedGraph(seed, n, deg, 0.8)
 }
 
 // pointsFromBytes: dim-10 points at ~112 bytes each.
@@ -141,7 +146,7 @@ func pointsFromBytes(seed uint64, datasetBytes int64) *workloads.Points {
 	if n < 64 {
 		n = 64
 	}
-	return workloads.GenPoints(seed, n, 10)
+	return workloads.CachedPoints(seed, n, 10)
 }
 
 // rowsFromBytes: ~56 bytes per row.
@@ -150,7 +155,7 @@ func rowsFromBytes(seed uint64, datasetBytes int64) *workloads.Rows {
 	if n < 64 {
 		n = 64
 	}
-	return workloads.GenRows(seed, n, 512)
+	return workloads.CachedRows(seed, n, 512)
 }
 
 func sum64(xs []float64) float64 {

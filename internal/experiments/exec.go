@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/carv-repro/teraheap-go/internal/runner"
+)
+
+// Spec is one submission to the parallel experiment executor: a tagged
+// union over the two run kinds plus free-form closures (barrier- and
+// ablation-style experiments). Exactly one field must be set.
+type Spec struct {
+	Spark  *SparkRun
+	Giraph *GiraphRun
+	// Fn covers experiments that are not a plain RunSpark/RunGiraph
+	// (synthetic ablations, microbenchmarks) but still return a RunResult.
+	Fn func() RunResult
+}
+
+// run executes the spec. Every run is fully self-contained (own clock,
+// heap, collector, devices), so specs may execute concurrently.
+func (s Spec) run() RunResult {
+	switch {
+	case s.Spark != nil:
+		return RunSpark(*s.Spark)
+	case s.Giraph != nil:
+		return RunGiraph(*s.Giraph)
+	case s.Fn != nil:
+		return s.Fn()
+	}
+	panic(fmt.Sprintf("experiments: empty Spec %+v", s))
+}
+
+// SparkSpec wraps a SparkRun as a Spec.
+func SparkSpec(r SparkRun) Spec { return Spec{Spark: &r} }
+
+// GiraphSpec wraps a GiraphRun as a Spec.
+func GiraphSpec(r GiraphRun) Spec { return Spec{Giraph: &r} }
+
+// RunAll executes the specs across the executor's default worker pool
+// and returns results in submission order, so figure formatting over the
+// result slice is byte-identical to serial execution.
+func RunAll(specs []Spec) []RunResult {
+	return RunAllWorkers(specs, runner.DefaultWorkers())
+}
+
+// RunAllWorkers is RunAll with an explicit worker count (tests, the
+// benchmark suite). workers <= 0 means GOMAXPROCS.
+func RunAllWorkers(specs []Spec, workers int) []RunResult {
+	return runner.Do(len(specs), workers, func(i int) RunResult {
+		return specs[i].run()
+	})
+}

@@ -16,23 +16,32 @@ import (
 // live objects, over all allocated regions (reclaimed regions count as 0%
 // live).
 func Fig10() string {
-	var sb strings.Builder
-	for _, rs := range []struct {
+	regionSizes := []struct {
 		label string
 		size  int64
 	}{
 		{"16MB", 16 * storage.KB},
 		{"256MB", 256 * storage.KB},
-	} {
-		fmt.Fprintf(&sb, "== Fig 10: region liveness (region size = %s paper-scale) ==\n", rs.label)
-		for _, w := range GiraphWorkloads() {
+	}
+	workloads := GiraphWorkloads()
+	var specs []Spec
+	for _, rs := range regionSizes {
+		size := rs.size
+		for _, w := range workloads {
 			spec := giraphSpecs[w]
 			dram := spec.dramGB[len(spec.dramGB)-1]
-			size := rs.size
-			r := RunGiraph(GiraphRun{
+			specs = append(specs, GiraphSpec(GiraphRun{
 				Workload: w, Mode: giraph.ModeTH, DramGB: dram, AnalyzeRegions: true,
 				THConfig: func(c *core.Config) { c.RegionSize = size },
-			})
+			}))
+		}
+	}
+	runs := RunAll(specs)
+	var sb strings.Builder
+	for ri, rs := range regionSizes {
+		fmt.Fprintf(&sb, "== Fig 10: region liveness (region size = %s paper-scale) ==\n", rs.label)
+		for wi, w := range workloads {
+			r := runs[ri*len(workloads)+wi]
 			if r.OOM || r.THStats == nil {
 				fmt.Fprintf(&sb, "%-6s OOM\n", w)
 				continue

@@ -25,6 +25,27 @@ func Fig11a() string {
 		{"8KB", 8 * storage.KB},
 		{"16KB", 16 * storage.KB},
 	}
+	workloads := GiraphWorkloads()
+	var specs []Spec
+	for _, w := range workloads {
+		// The scanning-heavy configuration: reduced DRAM and forced
+		// movement without the hint, so mutable stores sit in H2 and
+		// their updates dirty cards that minor GC must scan — the
+		// behaviour whose cost the card-segment size trades off.
+		dram := giraphSpecs[w].dramGB[0]
+		for _, s := range segs {
+			size := s.size
+			specs = append(specs, GiraphSpec(GiraphRun{Workload: w, Mode: giraph.ModeTH, DramGB: dram,
+				THConfig: func(c *core.Config) {
+					c.CardSegmentSize = size
+					// Stripe size equals region size (256 MB paper-scale).
+					c.RegionSize = 256 * storage.KB
+					c.EnableMoveHint = false
+					c.LowThreshold = 0
+				}}))
+		}
+	}
+	runs := RunAll(specs)
 	var sb strings.Builder
 	sb.WriteString("== Fig 11a: H2 minor-GC scan time vs card segment size (norm. to 512B) ==\n")
 	fmt.Fprintf(&sb, "%-6s", "wl")
@@ -32,25 +53,11 @@ func Fig11a() string {
 		fmt.Fprintf(&sb, " %8s", s.label)
 	}
 	sb.WriteString("\n")
-	for _, w := range GiraphWorkloads() {
-		spec := giraphSpecs[w]
-		// The scanning-heavy configuration: reduced DRAM and forced
-		// movement without the hint, so mutable stores sit in H2 and
-		// their updates dirty cards that minor GC must scan — the
-		// behaviour whose cost the card-segment size trades off.
-		dram := spec.dramGB[0]
+	for wi, w := range workloads {
 		var base time.Duration
 		fmt.Fprintf(&sb, "%-6s", w)
-		for i, s := range segs {
-			size := s.size
-			r := RunGiraph(GiraphRun{Workload: w, Mode: giraph.ModeTH, DramGB: dram,
-				THConfig: func(c *core.Config) {
-					c.CardSegmentSize = size
-					// Stripe size equals region size (256 MB paper-scale).
-					c.RegionSize = 256 * storage.KB
-					c.EnableMoveHint = false
-					c.LowThreshold = 0
-				}})
+		for i := range segs {
+			r := runs[wi*len(segs)+i]
 			t := time.Duration(0)
 			if r.THStats != nil {
 				t = r.THStats.MinorScanTime
@@ -71,15 +78,20 @@ func Fig11a() string {
 // Fig11b compares the four major-GC phases between Giraph-OOC and
 // TeraHeap (Figure 11b).
 func Fig11b() string {
+	workloads := GiraphWorkloads()
+	var specs []Spec
+	for _, w := range workloads {
+		dram := giraphSpecs[w].dramGB[len(giraphSpecs[w].dramGB)-1]
+		specs = append(specs,
+			GiraphSpec(GiraphRun{Workload: w, Mode: giraph.ModeOOC, DramGB: dram}),
+			GiraphSpec(GiraphRun{Workload: w, Mode: giraph.ModeTH, DramGB: dram}))
+	}
+	runs := RunAll(specs)
 	var sb strings.Builder
 	sb.WriteString("== Fig 11b: major GC phase breakdown (Giraph-OOC vs TeraHeap) ==\n")
 	fmt.Fprintf(&sb, "%-6s %-4s %12s %12s %12s %12s %12s\n",
 		"wl", "cfg", "Marking", "Precompact", "Adjust", "Compact", "total")
-	for _, w := range GiraphWorkloads() {
-		spec := giraphSpecs[w]
-		dram := spec.dramGB[len(spec.dramGB)-1]
-		oc := RunGiraph(GiraphRun{Workload: w, Mode: giraph.ModeOOC, DramGB: dram})
-		th := RunGiraph(GiraphRun{Workload: w, Mode: giraph.ModeTH, DramGB: dram})
+	for wi, w := range workloads {
 		write := func(cfg string, r RunResult) {
 			if r.OOM {
 				fmt.Fprintf(&sb, "%-6s %-4s OOM\n", w, cfg)
@@ -97,8 +109,8 @@ func Fig11b() string {
 				ph[gc.PhaseCompact].Round(time.Microsecond),
 				total.Round(time.Microsecond))
 		}
-		write("OC", oc)
-		write("TH", th)
+		write("OC", runs[2*wi])
+		write("TH", runs[2*wi+1])
 	}
 	return sb.String()
 }

@@ -10,12 +10,18 @@ import (
 // Fig12a compares Spark-SD and TeraHeap on the NVM server (Figure 12a):
 // the off-heap cache / H2 live on Optane in App Direct mode.
 func Fig12a() string {
+	workloads := SparkWorkloads()
+	var specs []Spec
+	for _, w := range workloads {
+		dram := sparkSpecs[w].thDramGB[len(sparkSpecs[w].thDramGB)-1]
+		specs = append(specs,
+			SparkSpec(SparkRun{Workload: w, Runtime: RuntimePS, DramGB: dram, Device: storage.NVM}),
+			SparkSpec(SparkRun{Workload: w, Runtime: RuntimeTH, DramGB: dram, Device: storage.NVM}))
+	}
+	runs := RunAll(specs)
 	var sb strings.Builder
-	for _, w := range SparkWorkloads() {
-		spec := sparkSpecs[w]
-		dram := spec.thDramGB[len(spec.thDramGB)-1]
-		sd := RunSpark(SparkRun{Workload: w, Runtime: RuntimePS, DramGB: dram, Device: storage.NVM})
-		th := RunSpark(SparkRun{Workload: w, Runtime: RuntimeTH, DramGB: dram, Device: storage.NVM})
+	for i, w := range workloads {
+		sd, th := runs[2*i], runs[2*i+1]
 		rows := []metrics.Row{
 			{Name: w + "/SD(nvm)", B: sd.B, OOM: sd.OOM},
 			{Name: w + "/TH(nvm)", B: th.B, OOM: th.OOM},
@@ -28,12 +34,18 @@ func Fig12a() string {
 // Fig12b compares Spark-MO (heap over NVM memory mode) and TeraHeap
 // (Figure 12b).
 func Fig12b() string {
+	workloads := SparkWorkloads()
+	var specs []Spec
+	for _, w := range workloads {
+		dram := sparkSpecs[w].thDramGB[len(sparkSpecs[w].thDramGB)-1]
+		specs = append(specs,
+			SparkSpec(SparkRun{Workload: w, Runtime: RuntimeMO, DramGB: dram, Device: storage.NVM}),
+			SparkSpec(SparkRun{Workload: w, Runtime: RuntimeTH, DramGB: dram, Device: storage.NVM}))
+	}
+	runs := RunAll(specs)
 	var sb strings.Builder
-	for _, w := range SparkWorkloads() {
-		spec := sparkSpecs[w]
-		dram := spec.thDramGB[len(spec.thDramGB)-1]
-		mo := RunSpark(SparkRun{Workload: w, Runtime: RuntimeMO, DramGB: dram, Device: storage.NVM})
-		th := RunSpark(SparkRun{Workload: w, Runtime: RuntimeTH, DramGB: dram, Device: storage.NVM})
+	for i, w := range workloads {
+		mo, th := runs[2*i], runs[2*i+1]
 		rows := []metrics.Row{
 			{Name: w + "/MO", B: mo.B, OOM: mo.OOM,
 				Note: devNote(mo.DevStats)},
@@ -48,19 +60,25 @@ func Fig12b() string {
 // Fig12c compares Panthera and TeraHeap (Figure 12c): both use 16 GB of
 // DRAM and NVM for the rest (64 GB heap for Panthera, H2 on NVM for TH).
 func Fig12c() string {
-	var sb strings.Builder
 	// The paper's Fig 12c workload list (KM replaces TR and RL). Panthera
 	// holds everything on its 64 GB hybrid heap, so datasets are sized to
 	// fit it (the Panthera paper's own evaluation scale); TeraHeap runs
 	// the same datasets with the same DRAM.
 	list := []string{"PR", "CC", "SSSP", "SVD", "LR", "LgR", "KM", "SVM", "BC"}
+	var specs []Spec
 	for _, w := range list {
 		scale := 30.0 / sparkSpecs[w].datasetGB
 		if scale > 1 {
 			scale = 1
 		}
-		p := RunSpark(SparkRun{Workload: w, Runtime: RuntimePanthera, DramGB: 16, Device: storage.NVM, DatasetScale: scale})
-		th := RunSpark(SparkRun{Workload: w, Runtime: RuntimeTH, DramGB: 32, Device: storage.NVM, DatasetScale: scale})
+		specs = append(specs,
+			SparkSpec(SparkRun{Workload: w, Runtime: RuntimePanthera, DramGB: 16, Device: storage.NVM, DatasetScale: scale}),
+			SparkSpec(SparkRun{Workload: w, Runtime: RuntimeTH, DramGB: 32, Device: storage.NVM, DatasetScale: scale}))
+	}
+	runs := RunAll(specs)
+	var sb strings.Builder
+	for i, w := range list {
+		p, th := runs[2*i], runs[2*i+1]
 		rows := []metrics.Row{
 			{Name: w + "/Panthera", B: p.B, OOM: p.OOM, Note: devNote(p.DevStats)},
 			{Name: w + "/TH", B: th.B, OOM: th.OOM, Note: devNote(th.DevStats)},

@@ -11,13 +11,47 @@ import (
 // and LR and Giraph CDLP, each normalized to its own 8-thread run
 // (Figure 13a).
 func Fig13a() string {
+	ccDram := sparkSpecs["CC"].thDramGB[len(sparkSpecs["CC"].thDramGB)-1]
+	lrDram := sparkSpecs["LR"].thDramGB[len(sparkSpecs["LR"].thDramGB)-1]
+	cdlpDram := giraphSpecs["CDLP"].dramGB[len(giraphSpecs["CDLP"].dramGB)-1]
+
+	configs := []struct {
+		name string
+		spec func(threads int) Spec
+	}{
+		{"Spark-CC/SD", func(t int) Spec {
+			return SparkSpec(SparkRun{Workload: "CC", Runtime: RuntimePS, DramGB: ccDram, Threads: t})
+		}},
+		{"Spark-CC/TH", func(t int) Spec {
+			return SparkSpec(SparkRun{Workload: "CC", Runtime: RuntimeTH, DramGB: ccDram, Threads: t})
+		}},
+		{"Spark-LR/SD", func(t int) Spec {
+			return SparkSpec(SparkRun{Workload: "LR", Runtime: RuntimePS, DramGB: lrDram, Threads: t})
+		}},
+		{"Spark-LR/TH", func(t int) Spec {
+			return SparkSpec(SparkRun{Workload: "LR", Runtime: RuntimeTH, DramGB: lrDram, Threads: t})
+		}},
+		{"Giraph-CDLP/OOC", func(t int) Spec {
+			return GiraphSpec(GiraphRun{Workload: "CDLP", Mode: giraph.ModeOOC, DramGB: cdlpDram, Threads: t})
+		}},
+		{"Giraph-CDLP/TH", func(t int) Spec {
+			return GiraphSpec(GiraphRun{Workload: "CDLP", Mode: giraph.ModeTH, DramGB: cdlpDram, Threads: t})
+		}},
+	}
+	threads := []int{4, 8, 16}
+	var specs []Spec
+	for _, c := range configs {
+		for _, t := range threads {
+			specs = append(specs, c.spec(t))
+		}
+	}
+	runs := RunAll(specs)
+
 	var sb strings.Builder
 	sb.WriteString("== Fig 13a: scaling with mutator threads (normalized to 8 threads) ==\n")
 	fmt.Fprintf(&sb, "%-22s %8s %8s %8s\n", "config", "4", "8", "16")
-
-	type runner func(threads int) RunResult
-	do := func(name string, fn runner) {
-		r4, r8, r16 := fn(4), fn(8), fn(16)
+	for ci, c := range configs {
+		r4, r8, r16 := runs[3*ci], runs[3*ci+1], runs[3*ci+2]
 		base := float64(r8.B.Total())
 		cell := func(r RunResult) string {
 			if r.OOM {
@@ -25,41 +59,14 @@ func Fig13a() string {
 			}
 			return fmt.Sprintf("%.3f", float64(r.B.Total())/base)
 		}
-		fmt.Fprintf(&sb, "%-22s %8s %8s %8s\n", name, cell(r4), cell(r8), cell(r16))
+		fmt.Fprintf(&sb, "%-22s %8s %8s %8s\n", c.name, cell(r4), cell(r8), cell(r16))
 	}
-
-	ccDram := sparkSpecs["CC"].thDramGB[len(sparkSpecs["CC"].thDramGB)-1]
-	lrDram := sparkSpecs["LR"].thDramGB[len(sparkSpecs["LR"].thDramGB)-1]
-	cdlpDram := giraphSpecs["CDLP"].dramGB[len(giraphSpecs["CDLP"].dramGB)-1]
-
-	do("Spark-CC/SD", func(t int) RunResult {
-		return RunSpark(SparkRun{Workload: "CC", Runtime: RuntimePS, DramGB: ccDram, Threads: t})
-	})
-	do("Spark-CC/TH", func(t int) RunResult {
-		return RunSpark(SparkRun{Workload: "CC", Runtime: RuntimeTH, DramGB: ccDram, Threads: t})
-	})
-	do("Spark-LR/SD", func(t int) RunResult {
-		return RunSpark(SparkRun{Workload: "LR", Runtime: RuntimePS, DramGB: lrDram, Threads: t})
-	})
-	do("Spark-LR/TH", func(t int) RunResult {
-		return RunSpark(SparkRun{Workload: "LR", Runtime: RuntimeTH, DramGB: lrDram, Threads: t})
-	})
-	do("Giraph-CDLP/OOC", func(t int) RunResult {
-		return RunGiraph(GiraphRun{Workload: "CDLP", Mode: giraph.ModeOOC, DramGB: cdlpDram, Threads: t})
-	})
-	do("Giraph-CDLP/TH", func(t int) RunResult {
-		return RunGiraph(GiraphRun{Workload: "CDLP", Mode: giraph.ModeTH, DramGB: cdlpDram, Threads: t})
-	})
 	return sb.String()
 }
 
 // Fig13b measures robustness to dataset size (Figure 13b): native vs
 // TeraHeap at the base and enlarged datasets, reporting TH/native time.
 func Fig13b() string {
-	var sb strings.Builder
-	sb.WriteString("== Fig 13b: scaling with dataset size (TH time / native time) ==\n")
-	fmt.Fprintf(&sb, "%-16s %10s %10s\n", "workload", "base", "large")
-
 	type cfg struct {
 		name    string
 		baseGB  float64
@@ -72,22 +79,36 @@ func Fig13b() string {
 		{"Spark-LR", 64, 256, true, "LR"},
 		{"Giraph-CDLP", 25, 91, false, "CDLP"},
 	}
+	// Per case and dataset size: the native run then the TeraHeap run.
+	var specs []Spec
 	for _, c := range cases {
-		cell := func(scaleTo float64) string {
-			var nat, th RunResult
+		for _, scaleTo := range []float64{c.baseGB, c.largeGB} {
 			if c.spark {
 				spec := sparkSpecs[c.w]
 				scale := scaleTo / spec.datasetGB
 				dram := spec.thDramGB[len(spec.thDramGB)-1] * scale
-				nat = RunSpark(SparkRun{Workload: c.w, Runtime: RuntimePS, DramGB: dram, DatasetScale: scale})
-				th = RunSpark(SparkRun{Workload: c.w, Runtime: RuntimeTH, DramGB: dram, DatasetScale: scale})
+				specs = append(specs,
+					SparkSpec(SparkRun{Workload: c.w, Runtime: RuntimePS, DramGB: dram, DatasetScale: scale}),
+					SparkSpec(SparkRun{Workload: c.w, Runtime: RuntimeTH, DramGB: dram, DatasetScale: scale}))
 			} else {
 				spec := giraphSpecs[c.w]
 				scale := scaleTo / spec.datasetGB
 				dram := spec.dramGB[len(spec.dramGB)-1] * scale
-				nat = RunGiraph(GiraphRun{Workload: c.w, Mode: giraph.ModeOOC, DramGB: dram, DatasetScale: scale})
-				th = RunGiraph(GiraphRun{Workload: c.w, Mode: giraph.ModeTH, DramGB: dram, DatasetScale: scale})
+				specs = append(specs,
+					GiraphSpec(GiraphRun{Workload: c.w, Mode: giraph.ModeOOC, DramGB: dram, DatasetScale: scale}),
+					GiraphSpec(GiraphRun{Workload: c.w, Mode: giraph.ModeTH, DramGB: dram, DatasetScale: scale}))
 			}
+		}
+	}
+	runs := RunAll(specs)
+
+	var sb strings.Builder
+	sb.WriteString("== Fig 13b: scaling with dataset size (TH time / native time) ==\n")
+	fmt.Fprintf(&sb, "%-16s %10s %10s\n", "workload", "base", "large")
+	for ci, c := range cases {
+		cell := func(sizeIdx int) string {
+			nat := runs[4*ci+2*sizeIdx]
+			th := runs[4*ci+2*sizeIdx+1]
 			if nat.OOM {
 				return "nat-OOM"
 			}
@@ -96,7 +117,7 @@ func Fig13b() string {
 			}
 			return fmt.Sprintf("%.3f", float64(th.B.Total())/float64(nat.B.Total()))
 		}
-		fmt.Fprintf(&sb, "%-16s %10s %10s\n", c.name, cell(c.baseGB), cell(c.largeGB))
+		fmt.Fprintf(&sb, "%-16s %10s %10s\n", c.name, cell(0), cell(1))
 	}
 	return sb.String()
 }

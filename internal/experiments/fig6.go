@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 
 	"github.com/carv-repro/teraheap-go/internal/giraph"
@@ -14,60 +15,88 @@ type Fig6SparkResult struct {
 	Runs     []RunResult
 }
 
+// Fig6SparkSpecs enumerates one workload's Figure 6 runs: Spark-SD across
+// its DRAM ladder, then TeraHeap at the reduced and full DRAM points.
+func Fig6SparkSpecs(workload string) []Spec {
+	spec, ok := sparkSpecs[workload]
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown Spark workload %q", workload))
+	}
+	var specs []Spec
+	for _, d := range spec.sdDramGB {
+		specs = append(specs, SparkSpec(SparkRun{Workload: workload, Runtime: RuntimePS, DramGB: d}))
+	}
+	for _, d := range spec.thDramGB {
+		specs = append(specs, SparkSpec(SparkRun{Workload: workload, Runtime: RuntimeTH, DramGB: d}))
+	}
+	return specs
+}
+
+// Fig6GiraphSpecs enumerates one workload's Giraph runs: OOC then
+// TeraHeap across the Fig 6 DRAM points.
+func Fig6GiraphSpecs(workload string) []Spec {
+	spec, ok := giraphSpecs[workload]
+	if !ok {
+		panic(fmt.Sprintf("experiments: unknown Giraph workload %q", workload))
+	}
+	var specs []Spec
+	for _, d := range spec.dramGB {
+		specs = append(specs, GiraphSpec(GiraphRun{Workload: workload, Mode: giraph.ModeOOC, DramGB: d}))
+	}
+	for _, d := range spec.dramGB {
+		specs = append(specs, GiraphSpec(GiraphRun{Workload: workload, Mode: giraph.ModeTH, DramGB: d}))
+	}
+	return specs
+}
+
+// fig6Collect folds executor results into the figure result.
+func fig6Collect(workload string, runs []RunResult) Fig6SparkResult {
+	res := Fig6SparkResult{Workload: workload, Runs: runs}
+	for _, r := range runs {
+		res.Rows = append(res.Rows, r.Row())
+	}
+	return res
+}
+
 // Fig6Spark reproduces the Spark half of Figure 6: for each workload,
 // Spark-SD across its DRAM ladder and TeraHeap at the reduced and full
 // DRAM points, with execution-time breakdowns and OOM markers.
 func Fig6Spark(workload string) Fig6SparkResult {
-	spec := sparkSpecs[workload]
-	res := Fig6SparkResult{Workload: workload}
-	for _, d := range spec.sdDramGB {
-		r := RunSpark(SparkRun{Workload: workload, Runtime: RuntimePS, DramGB: d})
-		res.Runs = append(res.Runs, r)
-		res.Rows = append(res.Rows, r.Row())
-	}
-	for _, d := range spec.thDramGB {
-		r := RunSpark(SparkRun{Workload: workload, Runtime: RuntimeTH, DramGB: d})
-		res.Runs = append(res.Runs, r)
-		res.Rows = append(res.Rows, r.Row())
-	}
-	return res
+	return fig6Collect(workload, RunAll(Fig6SparkSpecs(workload)))
 }
 
 // Fig6Giraph reproduces the Giraph half of Figure 6.
 func Fig6Giraph(workload string) Fig6SparkResult {
-	spec := giraphSpecs[workload]
-	res := Fig6SparkResult{Workload: workload}
-	for _, d := range spec.dramGB {
-		r := RunGiraph(GiraphRun{Workload: workload, Mode: giraph.ModeOOC, DramGB: d})
-		res.Runs = append(res.Runs, r)
-		res.Rows = append(res.Rows, r.Row())
+	return fig6Collect(workload, RunAll(Fig6GiraphSpecs(workload)))
+}
+
+// fig6All runs every workload's specs through one executor submission
+// (so parallelism spans workloads, not just DRAM points) and formats the
+// figure in workload order.
+func fig6All(workloads []string, enum func(string) []Spec, title string) string {
+	var all []Spec
+	offsets := make([]int, 0, len(workloads)+1)
+	for _, w := range workloads {
+		offsets = append(offsets, len(all))
+		all = append(all, enum(w)...)
 	}
-	for _, d := range spec.dramGB {
-		r := RunGiraph(GiraphRun{Workload: workload, Mode: giraph.ModeTH, DramGB: d})
-		res.Runs = append(res.Runs, r)
-		res.Rows = append(res.Rows, r.Row())
+	offsets = append(offsets, len(all))
+	runs := RunAll(all)
+	var sb strings.Builder
+	for i, w := range workloads {
+		r := fig6Collect(w, runs[offsets[i]:offsets[i+1]])
+		sb.WriteString(metrics.FormatBreakdown(title+w, r.Rows, true))
+		sb.WriteString("\n")
 	}
-	return res
+	return sb.String()
 }
 
 // Fig6SparkAll runs every Spark workload and formats the figure.
 func Fig6SparkAll() string {
-	var sb strings.Builder
-	for _, w := range SparkWorkloads() {
-		r := Fig6Spark(w)
-		sb.WriteString(metrics.FormatBreakdown("Fig 6 Spark-"+w, r.Rows, true))
-		sb.WriteString("\n")
-	}
-	return sb.String()
+	return fig6All(SparkWorkloads(), Fig6SparkSpecs, "Fig 6 Spark-")
 }
 
 // Fig6GiraphAll runs every Giraph workload and formats the figure.
 func Fig6GiraphAll() string {
-	var sb strings.Builder
-	for _, w := range GiraphWorkloads() {
-		r := Fig6Giraph(w)
-		sb.WriteString(metrics.FormatBreakdown("Fig 6 Giraph-"+w, r.Rows, true))
-		sb.WriteString("\n")
-	}
-	return sb.String()
+	return fig6All(GiraphWorkloads(), Fig6GiraphSpecs, "Fig 6 Giraph-")
 }

@@ -19,10 +19,11 @@ type Fig7Result struct {
 // Fig7 runs Spark PR under both configurations at the 80 GB DRAM point
 // (64 GB heap).
 func Fig7() Fig7Result {
-	return Fig7Result{
-		SD: RunSpark(SparkRun{Workload: "PR", Runtime: RuntimePS, DramGB: 80}),
-		TH: RunSpark(SparkRun{Workload: "PR", Runtime: RuntimeTH, DramGB: 80}),
-	}
+	runs := RunAll([]Spec{
+		SparkSpec(SparkRun{Workload: "PR", Runtime: RuntimePS, DramGB: 80}),
+		SparkSpec(SparkRun{Workload: "PR", Runtime: RuntimeTH, DramGB: 80}),
+	})
+	return Fig7Result{SD: runs[0], TH: runs[1]}
 }
 
 // timelineSummary condenses a GC timeline.

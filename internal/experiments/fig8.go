@@ -10,14 +10,21 @@ import (
 // DRAM (Figure 8). G1's humongous-object fragmentation OOMs SVM, BC, and
 // RL in the paper.
 func Fig8() string {
+	workloads := SparkWorkloads()
+	var specs []Spec
+	for _, w := range workloads {
+		dram := sparkSpecs[w].thDramGB[len(sparkSpecs[w].thDramGB)-1]
+		for _, rk := range []RuntimeKind{RuntimePS, RuntimeG1, RuntimeTH} {
+			specs = append(specs, SparkSpec(SparkRun{Workload: w, Runtime: rk, DramGB: dram}))
+		}
+	}
+	runs := RunAll(specs)
 	var sb strings.Builder
-	for _, w := range SparkWorkloads() {
-		spec := sparkSpecs[w]
-		dram := spec.thDramGB[len(spec.thDramGB)-1]
+	for i, w := range workloads {
 		rows := []metrics.Row{
-			RunSpark(SparkRun{Workload: w, Runtime: RuntimePS, DramGB: dram}).Row(),
-			RunSpark(SparkRun{Workload: w, Runtime: RuntimeG1, DramGB: dram}).Row(),
-			RunSpark(SparkRun{Workload: w, Runtime: RuntimeTH, DramGB: dram}).Row(),
+			runs[3*i+0].Row(),
+			runs[3*i+1].Row(),
+			runs[3*i+2].Row(),
 		}
 		rows[0].Name = w + "/PS"
 		rows[1].Name = w + "/G1"

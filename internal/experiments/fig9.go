@@ -14,23 +14,29 @@ import (
 // stores reach H2 early and every subsequent update is a device
 // read-modify-write.
 func Fig9a() string {
-	var sb strings.Builder
-	for _, w := range GiraphWorkloads() {
-		spec := giraphSpecs[w]
+	workloads := GiraphWorkloads()
+	var specs []Spec
+	for _, w := range workloads {
 		// The reduced-DRAM point: the threshold mechanism actually fires
 		// there, which is what the hint comparison is about.
-		dram := spec.dramGB[0]
+		dram := giraphSpecs[w].dramGB[0]
 		// Fig 9a isolates the transfer hint: both configurations use only
 		// the high threshold (the low threshold is Fig 9b's subject), so
 		// forced movement takes every marked object — including mutable
 		// stores, whose subsequent updates become device RMWs.
-		nh := RunGiraph(GiraphRun{Workload: w, Mode: giraph.ModeTH, DramGB: dram,
-			THConfig: func(c *core.Config) {
-				c.EnableMoveHint = false
-				c.LowThreshold = 0
-			}})
-		h := RunGiraph(GiraphRun{Workload: w, Mode: giraph.ModeTH, DramGB: dram,
-			THConfig: func(c *core.Config) { c.LowThreshold = 0 }})
+		specs = append(specs,
+			GiraphSpec(GiraphRun{Workload: w, Mode: giraph.ModeTH, DramGB: dram,
+				THConfig: func(c *core.Config) {
+					c.EnableMoveHint = false
+					c.LowThreshold = 0
+				}}),
+			GiraphSpec(GiraphRun{Workload: w, Mode: giraph.ModeTH, DramGB: dram,
+				THConfig: func(c *core.Config) { c.LowThreshold = 0 }}))
+	}
+	runs := RunAll(specs)
+	var sb strings.Builder
+	for i, w := range workloads {
+		nh, h := runs[2*i], runs[2*i+1]
 		rows := []metrics.Row{
 			{Name: w + "/NH(no hint)", B: nh.B, OOM: nh.OOM},
 			{Name: w + "/H(hint)", B: h.B, OOM: h.OOM},
@@ -46,7 +52,6 @@ func Fig9a() string {
 // low threshold (L) against unbounded forced movement (NL). Both use the
 // transfer hint and trip the 85% high threshold during graph loading.
 func Fig9b() string {
-	var sb strings.Builder
 	// DRAM sized so that graph loading crosses the high threshold before
 	// the h2_move hint arrives (the paper's 170/200 GB points relative to
 	// its heap representation; our representation is slightly leaner, so
@@ -59,13 +64,20 @@ func Fig9b() string {
 		{"PR", 140, 91.0 / 85.0},
 		{"SSSP", 155, 91.0 / 90.0},
 	}
+	var specs []Spec
 	for _, c := range cases {
-		nl := RunGiraph(GiraphRun{Workload: c.w, Mode: giraph.ModeTH, DramGB: c.dramGB,
-			DatasetScale: c.scale,
-			THConfig:     func(cc *core.Config) { cc.LowThreshold = 0 }})
-		l := RunGiraph(GiraphRun{Workload: c.w, Mode: giraph.ModeTH, DramGB: c.dramGB,
-			DatasetScale: c.scale,
-			THConfig:     func(cc *core.Config) { cc.LowThreshold = 0.5 }})
+		specs = append(specs,
+			GiraphSpec(GiraphRun{Workload: c.w, Mode: giraph.ModeTH, DramGB: c.dramGB,
+				DatasetScale: c.scale,
+				THConfig:     func(cc *core.Config) { cc.LowThreshold = 0 }}),
+			GiraphSpec(GiraphRun{Workload: c.w, Mode: giraph.ModeTH, DramGB: c.dramGB,
+				DatasetScale: c.scale,
+				THConfig:     func(cc *core.Config) { cc.LowThreshold = 0.5 }}))
+	}
+	runs := RunAll(specs)
+	var sb strings.Builder
+	for i, c := range cases {
+		nl, l := runs[2*i], runs[2*i+1]
 		rows := []metrics.Row{
 			{Name: c.w + "/NL(no low)", B: nl.B, OOM: nl.OOM},
 			{Name: c.w + "/L(low=50%)", B: l.B, OOM: l.OOM},

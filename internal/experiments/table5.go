@@ -7,6 +7,7 @@ import (
 
 	"github.com/carv-repro/teraheap-go/internal/core"
 	"github.com/carv-repro/teraheap-go/internal/rt"
+	"github.com/carv-repro/teraheap-go/internal/runner"
 	"github.com/carv-repro/teraheap-go/internal/simclock"
 	"github.com/carv-repro/teraheap-go/internal/storage"
 	"github.com/carv-repro/teraheap-go/internal/vm"
@@ -70,8 +71,10 @@ func BarrierOverhead() string {
 		}
 		return clock.Breakdown().Total()
 	}
-	base := run(false)
-	th := run(true)
+	// Both microworkload instances are self-contained; run them through
+	// the executor like every other pair of configurations.
+	times := runner.Map(2, func(i int) time.Duration { return run(i == 1) })
+	base, th := times[0], times[1]
 	overhead := 100 * (float64(th)/float64(base) - 1)
 	return fmt.Sprintf("== §4 barrier overhead (DaCapo-like churn) ==\n"+
 		"vanilla=%v  EnableTeraHeap=%v  overhead=%.2f%% (paper: <3%% avg)\n",
@@ -146,8 +149,14 @@ func AblationGroupMode() string {
 		th := jvm.TeraHeap()
 		return th.Stats().RegionsReclaimed, th.UsedBytes()
 	}
-	depR, depUsed := run(core.DependencyLists)
-	ufR, ufUsed := run(core.UnionFind)
+	type groupResult struct{ reclaimed, used int64 }
+	modes := []core.GroupMode{core.DependencyLists, core.UnionFind}
+	rs := runner.Map(len(modes), func(i int) groupResult {
+		r, used := run(modes[i])
+		return groupResult{reclaimed: r, used: used}
+	})
+	depR, depUsed := rs[0].reclaimed, rs[0].used
+	ufR, ufUsed := rs[1].reclaimed, rs[1].used
 	return fmt.Sprintf("== §3.3 ablation: dependency lists vs Union-Find (X→Y→Z chains) ==\n"+
 		"%-12s regionsReclaimed=%-5d h2LiveBytes=%d\n%-12s regionsReclaimed=%-5d h2LiveBytes=%d\n"+
 		"dep lists reclaim the dead chain bodies; groups keep them alive\n",

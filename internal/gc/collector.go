@@ -84,6 +84,12 @@ type Collector struct {
 	// oom latches after an OOMError so subsequent allocations fail fast.
 	oom *OOMError
 
+	// scavWorklist and scavH2Moves are the scavenger's per-cycle buffers,
+	// kept on the collector so repeated minor GCs reuse their backing
+	// arrays instead of reallocating (and re-growing) them every cycle.
+	scavWorklist []vm.Addr
+	scavH2Moves  []pendingH2Move
+
 	// barrierEnabled mirrors the paper's EnableTeraHeap flag: when false,
 	// the extra H2 range check in the post-write barrier is compiled out.
 	barrierEnabled bool

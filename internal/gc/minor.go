@@ -19,11 +19,15 @@ type pendingH2Move struct {
 	status uint64
 }
 
-// scavenger holds the per-cycle state of one minor GC.
+// scavenger holds the per-cycle state of one minor GC. The worklist and
+// h2moves buffers borrow the collector's persistent backing arrays
+// (grown once, reused every cycle); h2head marks the FIFO consumption
+// point into h2moves so draining never re-slices the array front.
 type scavenger struct {
 	c        *Collector
 	worklist []vm.Addr
 	h2moves  []pendingH2Move
+	h2head   int
 
 	bytesCopied   int64
 	bytesPromoted int64
@@ -43,7 +47,7 @@ func (c *Collector) MinorGC() error {
 	defer c.Clock.SetContext(prevCat)
 	before := c.Clock.Breakdown()
 
-	s := &scavenger{c: c}
+	s := &scavenger{c: c, worklist: c.scavWorklist[:0], h2moves: c.scavH2Moves[:0]}
 
 	// Roots 1: handles.
 	c.Roots.ForEach(func(h *vm.Handle) {
@@ -65,6 +69,11 @@ func (c *Collector) MinorGC() error {
 	}, c.H1.InYoung)
 
 	s.drain()
+
+	// Return the (possibly grown) buffers to the collector for the next
+	// cycle, empty.
+	c.scavWorklist = s.worklist[:0]
+	c.scavH2Moves = s.h2moves[:0]
 
 	// The young generation is now empty: survivors moved to to-space, the
 	// tenured to the old generation, the tagged to H2.
@@ -151,17 +160,17 @@ func (s *scavenger) copyYoung(a vm.Addr) vm.Addr {
 // drain processes the scavenge worklist and any pending H2 moves until
 // both are empty.
 func (s *scavenger) drain() {
-	for len(s.worklist) > 0 || len(s.h2moves) > 0 {
+	for len(s.worklist) > 0 || s.h2head < len(s.h2moves) {
 		for len(s.worklist) > 0 {
 			dst := s.worklist[len(s.worklist)-1]
 			s.worklist = s.worklist[:len(s.worklist)-1]
 			s.scanCopied(dst)
 		}
-		for len(s.h2moves) > 0 {
+		for s.h2head < len(s.h2moves) {
 			// FIFO so commits reach each region's promotion buffer in
 			// ascending address order.
-			mv := s.h2moves[0]
-			s.h2moves = s.h2moves[1:]
+			mv := s.h2moves[s.h2head]
+			s.h2head++
 			s.commitH2Move(mv)
 		}
 	}

@@ -1,0 +1,110 @@
+package workloads
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCacheSameKeySharesInstance(t *testing.T) {
+	ResetCaches()
+	defer ResetCaches()
+
+	g1 := CachedGraph(7, 1000, 8.0, 0.8)
+	g2 := CachedGraph(7, 1000, 8.0, 0.8)
+	if g1 != g2 {
+		t.Errorf("CachedGraph same key returned distinct instances")
+	}
+	p1 := CachedPoints(7, 500, 10)
+	p2 := CachedPoints(7, 500, 10)
+	if p1 != p2 {
+		t.Errorf("CachedPoints same key returned distinct instances")
+	}
+	r1 := CachedRows(7, 500, 64)
+	r2 := CachedRows(7, 500, 64)
+	if r1 != r2 {
+		t.Errorf("CachedRows same key returned distinct instances")
+	}
+	hits, misses := CacheStats()
+	if misses != 3 {
+		t.Errorf("misses = %d, want 3 (one generation per key)", misses)
+	}
+	if hits != 3 {
+		t.Errorf("hits = %d, want 3 (one repeat per key)", hits)
+	}
+}
+
+func TestCacheKeyMiss(t *testing.T) {
+	ResetCaches()
+	defer ResetCaches()
+
+	base := CachedGraph(7, 1000, 8.0, 0.8)
+	if CachedGraph(8, 1000, 8.0, 0.8) == base {
+		t.Errorf("different seed returned the cached instance")
+	}
+	if CachedGraph(7, 2000, 8.0, 0.8) == base {
+		t.Errorf("different size returned the cached instance")
+	}
+	if CachedGraph(7, 1000, 8.0, 0.9) == base {
+		t.Errorf("different skew returned the cached instance")
+	}
+	p := CachedPoints(7, 500, 10)
+	if CachedPoints(7, 500, 20) == p {
+		t.Errorf("different dim returned the cached points")
+	}
+	_, misses := CacheStats()
+	if misses != 6 {
+		t.Errorf("misses = %d, want 6 (every key distinct)", misses)
+	}
+}
+
+// TestCacheConcurrentSingleGeneration checks the per-key sync.Once: many
+// concurrent callers of one key share a single generation pass.
+func TestCacheConcurrentSingleGeneration(t *testing.T) {
+	ResetCaches()
+	defer ResetCaches()
+
+	const callers = 16
+	got := make([]*Graph, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			got[i] = CachedGraph(42, 2000, 8.0, 0.8)
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if got[i] != got[0] {
+			t.Fatalf("caller %d got a distinct instance", i)
+		}
+	}
+	_, misses := CacheStats()
+	if misses != 1 {
+		t.Errorf("misses = %d, want 1 (single generation)", misses)
+	}
+}
+
+// TestCachedEqualsGenerated pins that the cached variants return exactly
+// what the underlying pure generators produce.
+func TestCachedEqualsGenerated(t *testing.T) {
+	ResetCaches()
+	defer ResetCaches()
+
+	cg := CachedGraph(3, 1500, 6.0, 0.8)
+	gg := GenGraph(3, 1500, 6.0, 0.8)
+	if cg.N != gg.N || cg.M != gg.M || len(cg.Adj) != len(gg.Adj) {
+		t.Fatalf("cached graph differs from generated: N=%d/%d M=%d/%d", cg.N, gg.N, cg.M, gg.M)
+	}
+	for v := range cg.Adj {
+		if len(cg.Adj[v]) != len(gg.Adj[v]) {
+			t.Fatalf("vertex %d degree differs", v)
+		}
+		for j := range cg.Adj[v] {
+			if cg.Adj[v][j] != gg.Adj[v][j] {
+				t.Fatalf("vertex %d edge %d differs", v, j)
+			}
+		}
+	}
+}
