@@ -2,7 +2,7 @@
 //
 // Usage:
 //
-//	teraheap-bench [-csv] [-j N] <experiment> [workload]
+//	teraheap-bench [-csv] [-j N] [-verify] <experiment> [workload]
 //
 // Experiments: fig6-spark, fig6-giraph, fig7, fig8, fig9a, fig9b, fig10,
 // fig11a, fig11b, fig12a, fig12b, fig12c, fig13a, fig13b, table5,
@@ -67,6 +67,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	csvOut := fs.Bool("csv", false, "emit fig6/fig7 results as CSV instead of tables")
 	jobs := fs.Int("j", 0, "parallel experiment runs (0 = GOMAXPROCS)")
 	compare := fs.Bool("compare", false, "with \"all\": rerun the suite at -j 1 and report the speedup")
+	verify := fs.Bool("verify", false, "run the heap invariant verifier before and after every GC")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -76,6 +77,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	prev := runner.SetDefaultWorkers(*jobs)
 	defer runner.SetDefaultWorkers(prev)
+	prevVerify := experiments.SetVerify(*verify)
+	defer experiments.SetVerify(prevVerify)
 
 	what := fs.Arg(0)
 	arg := fs.Arg(1)
@@ -195,5 +198,8 @@ flags:
   -j N       run N experiment configurations in parallel (0 = GOMAXPROCS);
              output is byte-identical for every -j
   -compare   with "all": rerun at -j 1 and report the measured speedup
-  -csv       emit fig6/fig7 results as CSV`)
+  -csv       emit fig6/fig7 results as CSV
+  -verify    run the heap invariant verifier before and after every GC
+             (the VerifyBeforeGC/VerifyAfterGC analog; panics on the first
+             violation; TH_VERIFY=1 in the environment does the same)`)
 }

@@ -18,6 +18,9 @@ func (g *G1) fullGC() error {
 	if g.oom != nil {
 		return g.oom
 	}
+	if g.verify {
+		g.runVerify("before full GC")
+	}
 	prev := g.clock.SetContext(simclock.MajorGC)
 	defer g.clock.SetContext(prev)
 	before := g.clock.Breakdown()
@@ -196,6 +199,9 @@ func (g *G1) fullGC() error {
 	})
 	g.stats.MajorCount++
 	g.stats.MajorTime += delta.Get(simclock.MajorGC)
+	if g.verify {
+		g.runVerify("after full GC")
+	}
 	return nil
 }
 

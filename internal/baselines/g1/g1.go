@@ -51,6 +51,9 @@ type Config struct {
 	ConcurrencyDiscount float64
 	GCThreads           int
 	Costs               gc.CostParams
+	// Verify runs the full-heap invariant verifier before and after every
+	// collection (the TH_VERIFY=1 environment variable also forces it on).
+	Verify bool
 }
 
 // DefaultConfig returns G1-like defaults for the heap size.
@@ -129,6 +132,9 @@ type G1 struct {
 	// th is the optional second heap (TeraHeap-under-G1, §7.1); inert by
 	// default.
 	th gc.SecondHeap
+
+	// verify runs VerifyNow before and after every collection.
+	verify bool
 }
 
 var _ = fmt.Sprintf // keep fmt imported for panics below
@@ -148,7 +154,8 @@ func New(cfg Config, classes *vm.ClassTable, clock *simclock.Clock) *G1 {
 	if n < 8 {
 		panic("g1: need at least 8 regions")
 	}
-	g := &G1{cfg: cfg, clock: clock, classes: classes, as: &vm.AddressSpace{}, roots: vm.NewRootSet(), th: gc.NoSecondHeap{}}
+	g := &G1{cfg: cfg, clock: clock, classes: classes, as: &vm.AddressSpace{}, roots: vm.NewRootSet(), th: gc.NoSecondHeap{},
+		verify: cfg.Verify || os.Getenv("TH_VERIFY") == "1"}
 	ram := vm.NewRAM(vm.H1Base, cfg.H1Size)
 	g.as.Map(vm.H1Base, vm.H1Base+vm.Addr(cfg.H1Size), ram)
 	g.mem = vm.NewMem(g.as, classes)

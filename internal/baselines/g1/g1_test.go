@@ -44,7 +44,11 @@ func (e *env) list(t *testing.T, n int) *vm.Handle {
 	t.Helper()
 	h := e.g.NewHandle(vm.NullAddr)
 	for i := n - 1; i >= 0; i-- {
-		h.Set(e.node3(t, h.Addr(), vm.NullAddr, uint64(i)))
+		// Allocate first, then read the handle: the allocation may trigger
+		// a GC, and a raw address captured before it would be stale.
+		a := e.node3(t, vm.NullAddr, vm.NullAddr, uint64(i))
+		e.g.WriteRef(a, 0, h.Addr())
+		h.Set(a)
 	}
 	return h
 }
@@ -190,10 +194,13 @@ func TestG1HumongousFragmentationOOM(t *testing.T) {
 
 func TestG1SharedStructure(t *testing.T) {
 	e := newEnv(t, 1<<20)
-	shared := e.node3(t, vm.NullAddr, vm.NullAddr, 5)
-	a := e.node3(t, shared, vm.NullAddr, 1)
-	b := e.node3(t, shared, vm.NullAddr, 2)
-	ha, hb := e.g.NewHandle(a), e.g.NewHandle(b)
+	// Root every node while allocating: each allocation may move the others.
+	hs := e.g.NewHandle(e.node3(t, vm.NullAddr, vm.NullAddr, 5))
+	ha := e.g.NewHandle(e.node3(t, vm.NullAddr, vm.NullAddr, 1))
+	hb := e.g.NewHandle(e.node3(t, vm.NullAddr, vm.NullAddr, 2))
+	e.g.WriteRef(ha.Addr(), 0, hs.Addr())
+	e.g.WriteRef(hb.Addr(), 0, hs.Addr())
+	e.g.Release(hs)
 	for i := 0; i < 10; i++ {
 		tmp := e.list(t, 400)
 		e.g.Release(tmp)
@@ -218,9 +225,11 @@ func TestG1CardTableOldToYoung(t *testing.T) {
 		tmp := e.list(t, 400)
 		e.g.Release(tmp)
 	}
-	old := h.Addr()
-	young := e.node3(t, vm.NullAddr, vm.NullAddr, 321)
-	e.g.WriteRef(old, 1, young)
+	// Allocate the young node before reading the old node's address: the
+	// allocation may move the (not yet tenured) holder.
+	hy := e.g.NewHandle(e.node3(t, vm.NullAddr, vm.NullAddr, 321))
+	e.g.WriteRef(h.Addr(), 1, hy.Addr())
+	e.g.Release(hy) // now kept alive only by the old-to-young edge
 	// Force young GCs via churn.
 	for i := 0; i < 8; i++ {
 		tmp := e.list(t, 400)

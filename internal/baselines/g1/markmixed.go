@@ -32,6 +32,9 @@ func (g *G1) MarkingCycle() error {
 // reclaim so the caller can back off when marking stops paying (old data
 // that is simply live, e.g. a cached dataset).
 func (g *G1) markAndMixed() (int, error) {
+	if g.verify {
+		g.runVerify("before mixed cycle")
+	}
 	prev := g.clock.SetContext(simclock.MajorGC)
 	defer g.clock.SetContext(prev)
 	before := g.clock.Breakdown()
@@ -95,6 +98,9 @@ func (g *G1) markAndMixed() (int, error) {
 	})
 	g.stats.MajorCount++
 	g.stats.MajorTime += delta.Get(simclock.MajorGC)
+	if g.verify {
+		g.runVerify("after mixed cycle")
+	}
 	return regionsFreed, nil
 }
 
@@ -289,6 +295,16 @@ func (g *G1) mixedEvacuate() (int64, int, error) {
 			h.Set(g.mem.Forwardee(a))
 		}
 	})
+	// H2 backward references into the collection set must follow the
+	// evacuated objects like every other reference, or they dangle once
+	// the source regions are freed (young collections only consult these
+	// via the H2 card table, which never sees the stale target again).
+	g.th.ScanBackwardRefs(true, func(_ uint64, t vm.Addr) vm.Addr {
+		if r := g.regionOf(t); r != nil && cs[r.id] && g.mem.Forwarded(t) {
+			return g.mem.Forwardee(t)
+		}
+		return t
+	}, g.inYoung)
 
 	// Free the collection set.
 	newOld := g.old[:0]

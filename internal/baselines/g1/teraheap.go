@@ -99,7 +99,7 @@ func (g *G1) moveClosuresToH2() int64 {
 		size := g.mem.SizeWords(o)
 		status := g.mem.Status(o)
 		image := make([]uint64, size)
-		image[0] = status &^ ((1 << 24) | (1 << 25)) // clear mark+closure
+		image[0] = status &^ uint64(vm.FlagMark|vm.FlagClosure)
 		image[1] = g.mem.Shape(o)
 		image[2] = g.mem.Label(o)
 		dst := dsts[o]

@@ -56,6 +56,9 @@ func (g *G1) youngGCNoMark() error {
 	if len(g.free) < len(g.eden)+len(g.survivor)+3 {
 		return g.fullGC()
 	}
+	if g.verify {
+		g.runVerify("before young GC")
+	}
 	prev := g.clock.SetContext(simclock.MinorGC)
 	defer g.clock.SetContext(prev)
 	before := g.clock.Breakdown()
@@ -246,6 +249,9 @@ func (g *G1) youngGCNoMark() error {
 	if debugG1 && g.stats.MinorCount%2000 == 0 {
 		println("g1 debug: minors", g.stats.MinorCount, "majors", g.stats.MajorCount,
 			"free", len(g.free), "old", len(g.old), "eden", len(g.eden), "hum", len(g.hum))
+	}
+	if g.verify {
+		g.runVerify("after young GC")
 	}
 	return nil
 }

@@ -1,0 +1,32 @@
+package core
+
+import "github.com/carv-repro/teraheap-go/internal/vm"
+
+// Test-only corruption hooks: they damage H2 metadata in the precise ways
+// the verifier's rules exist to catch, so tests can pin the diagnosis.
+
+// CorruptSegFirstForTest overwrites the segFirst entry of the card segment
+// holding a with an address that is not an object start. Returns false if
+// a is not inside an allocated H2 region.
+func (th *TeraHeap) CorruptSegFirstForTest(a vm.Addr) bool {
+	r := th.regionOf(a)
+	if r == nil {
+		return false
+	}
+	seg := int(int64(a-r.start) / th.cfg.CardSegmentSize)
+	r.segFirst[seg] = a + vm.WordSize
+	return true
+}
+
+// DropDepsForTest erases the dependency list of the region holding a,
+// simulating a lost cross-region liveness edge. Returns false if a is not
+// inside an allocated H2 region.
+func (th *TeraHeap) DropDepsForTest(a vm.Addr) bool {
+	r := th.regionOf(a)
+	if r == nil {
+		return false
+	}
+	th.stats.DepNodes -= int64(len(r.deps))
+	r.deps = make(map[int]struct{})
+	return true
+}

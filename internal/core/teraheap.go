@@ -139,6 +139,7 @@ type mappedMemory struct {
 
 func (m mappedMemory) Load(a vm.Addr) uint64     { return m.f.Load(a.Word(vm.H2Base)) }
 func (m mappedMemory) Store(a vm.Addr, v uint64) { m.f.Store(a.Word(vm.H2Base), v) }
+func (m mappedMemory) Peek(a vm.Addr) uint64     { return m.f.PeekWord(a.Word(vm.H2Base)) }
 
 // New builds a TeraHeap over dev and maps H2 into as at vm.H2Base.
 func New(cfg Config, dev *storage.Device, as *vm.AddressSpace, clock *simclock.Clock) *TeraHeap {

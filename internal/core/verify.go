@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/carv-repro/teraheap-go/internal/check"
+	"github.com/carv-repro/teraheap-go/internal/vm"
+)
+
+// ContainsAllocated reports whether a falls inside the allocated prefix of
+// a live H2 region; part of the check.H2 interface.
+func (th *TeraHeap) ContainsAllocated(a vm.Addr) bool {
+	r := th.regionOf(a)
+	return r != nil && a >= r.start && a < r.top
+}
+
+// VerifySelf implements check.H2: it parse-walks every allocated region
+// through the cost-free peek path and validates the H2-side invariants —
+// object headers carry no transient GC bits, segFirst entries are exactly
+// the first object starting in each card segment, segment card states are
+// at least as strong as the reference kinds actually present, dependency
+// lists (or union-find groups) cover every cross-region reference, and
+// per-region object/byte accounting matches the walk. It also runs the
+// page-cache LRU/map self-check. Only valid outside a GC pause.
+func (th *TeraHeap) VerifySelf(isYoung func(vm.Addr) bool, validH1 func(vm.Addr) bool, report func(check.Failure)) {
+	if th.mem == nil {
+		return // not attached to a collector yet; nothing can be in H2
+	}
+
+	// No reservation or staged promotion-buffer write may survive a pause.
+	for a, words := range th.reserved {
+		report(check.Failure{Rule: "h2-reservation-leak", Space: "h2",
+			Region: th.regionOf(a).id, Card: -1, Holder: a, Field: -1,
+			Detail: fmt.Sprintf("%d-word reservation never committed", words)})
+	}
+
+	// Pass 1: parse every allocated region, validating headers, segFirst
+	// and accounting, and collecting the set of valid object starts.
+	starts := make(map[vm.Addr]struct{})
+	for _, r := range th.regions {
+		if r == nil {
+			continue
+		}
+		if r.buf.pendingBytes != 0 || len(r.buf.writes) != 0 {
+			report(check.Failure{Rule: "h2-promo-buffer-not-flushed", Space: "h2",
+				Region: r.id, Card: -1, Field: -1,
+				Detail: fmt.Sprintf("%d bytes (%d writes) staged outside a GC pause", r.buf.pendingBytes, len(r.buf.writes))})
+		}
+		if r.empty() {
+			continue
+		}
+		th.verifyRegion(r, starts, report)
+	}
+
+	// Pass 2: reference fields, segment card states and dependency
+	// coverage, now that every region's object starts are known.
+	for _, r := range th.regions {
+		if r == nil || r.empty() {
+			continue
+		}
+		th.verifyRegionRefs(r, starts, isYoung, validH1, report)
+	}
+
+	if err := th.mapped.Cache().CheckConsistency(); err != nil {
+		report(check.Failure{Rule: "pagecache", Space: "pagecache", Region: -1, Card: -1, Field: -1,
+			Detail: err.Error()})
+	}
+}
+
+// verifyRegion parse-walks one region, reporting header and metadata
+// violations and adding each valid object start to starts.
+func (th *TeraHeap) verifyRegion(r *region, starts map[vm.Addr]struct{}, report func(check.Failure)) {
+	segFirstWant := make([]vm.Addr, len(r.segFirst))
+	var objects, sumBytes int64
+	a := r.start
+	for a < r.top {
+		status := th.peekWord(a)
+		if vm.StatusForwarded(status) {
+			report(check.Failure{Rule: "h2-forwarding", Space: "h2", Region: r.id, Card: -1,
+				Holder: a, Field: -1,
+				Detail: fmt.Sprintf("H2 object holds forwarding pointer to %v", vm.StatusForwardee(status))})
+			return
+		}
+		if status&(vm.FlagMark|vm.FlagClosure) != 0 {
+			report(check.Failure{Rule: "h2-stale-gc-bits", Space: "h2", Region: r.id, Card: -1,
+				Holder: a, Field: -1,
+				Detail: fmt.Sprintf("mark/closure bits 0x%x survived the move to H2", status&(vm.FlagMark|vm.FlagClosure))})
+		}
+		cid := vm.StatusClassID(status)
+		if cid == 0 || int(cid) >= th.mem.Classes.Len() {
+			report(check.Failure{Rule: "h2-bad-class", Space: "h2", Region: r.id, Card: -1,
+				Holder: a, Field: -1,
+				Detail: fmt.Sprintf("class id %d out of range [1, %d)", cid, th.mem.Classes.Len())})
+			return
+		}
+		shape := th.peekWord(a + vm.WordSize)
+		size := vm.ShapeSizeWords(shape)
+		numRefs := vm.ShapeNumRefs(shape)
+		if size < vm.HeaderWords || vm.HeaderWords+numRefs > size {
+			report(check.Failure{Rule: "h2-bad-shape", Space: "h2", Region: r.id, Card: -1,
+				Holder: a, Field: -1,
+				Detail: fmt.Sprintf("size %d words, %d refs is not a valid shape", size, numRefs)})
+			return
+		}
+		end := a + vm.Addr(size*vm.WordSize)
+		if end > r.top {
+			report(check.Failure{Rule: "h2-object-overruns-top", Space: "h2", Region: r.id, Card: -1,
+				Holder: a, Field: -1,
+				Detail: fmt.Sprintf("object end %v exceeds region top %v", end, r.top)})
+			return
+		}
+		seg := int(int64(a-r.start) / th.cfg.CardSegmentSize)
+		if segFirstWant[seg].IsNull() {
+			segFirstWant[seg] = a
+		}
+		starts[a] = struct{}{}
+		objects++
+		sumBytes += int64(size) * vm.WordSize
+		a = end
+	}
+	if objects != r.objects {
+		report(check.Failure{Rule: "h2-object-count", Space: "h2", Region: r.id, Card: -1, Field: -1,
+			Detail: fmt.Sprintf("walked %d objects but region metadata records %d", objects, r.objects)})
+	}
+	if sumBytes != r.used() {
+		report(check.Failure{Rule: "h2-accounting", Space: "h2", Region: r.id, Card: -1, Field: -1,
+			Detail: fmt.Sprintf("walked object bytes %d != region used() %d", sumBytes, r.used())})
+	}
+	for s := range r.segFirst {
+		if r.segFirst[s] != segFirstWant[s] {
+			report(check.Failure{Rule: "h2-seg-first", Space: "h2", Region: r.id,
+				Card: th.segmentOf(r.start) + s, Holder: r.segFirst[s], Field: -1,
+				Detail: fmt.Sprintf("segFirst[%d]=%v but first object starting in segment is %v", s, r.segFirst[s], segFirstWant[s])})
+		}
+	}
+}
+
+// verifyRegionRefs walks one region's reference fields, checking target
+// validity, segment card states against the reference kinds present, and
+// dependency-list / union-find coverage of cross-region references.
+func (th *TeraHeap) verifyRegionRefs(r *region, starts map[vm.Addr]struct{}, isYoung func(vm.Addr) bool, validH1 func(vm.Addr) bool, report func(check.Failure)) {
+	for a := r.start; a < r.top; {
+		size := th.peekSizeWords(a)
+		if size < vm.HeaderWords {
+			return // already reported by verifyRegion
+		}
+		seg := th.segmentOf(a)
+		st := th.cards.get(seg)
+		nrefs := th.peekNumRefs(a)
+		for f := 0; f < nrefs; f++ {
+			t := th.peekRef(a, f)
+			if t.IsNull() {
+				continue
+			}
+			if th.Contains(t) {
+				rt := th.regionOf(t)
+				if rt == nil || t >= rt.top {
+					report(check.Failure{Rule: "h2-ref-dangling", Space: "h2", Region: r.id, Card: seg,
+						Holder: a, Field: f,
+						Detail: fmt.Sprintf("reference targets unallocated H2 address %v", t)})
+					continue
+				}
+				if _, ok := starts[t]; !ok {
+					report(check.Failure{Rule: "h2-ref-dangling", Space: "h2", Region: r.id, Card: seg,
+						Holder: a, Field: f,
+						Detail: fmt.Sprintf("reference targets %v, not an H2 object start", t)})
+					continue
+				}
+				if rt != r && st != cardDirty && !th.depCovers(r, rt) {
+					report(check.Failure{Rule: "h2-dep-missing", Space: "h2", Region: r.id, Card: seg,
+						Holder: a, Field: f,
+						Detail: fmt.Sprintf("cross-region reference to region %d not covered by %s and segment not dirty", rt.id, th.groupModeName())})
+				}
+				continue
+			}
+			// Backward reference into H1.
+			if !validH1(t) {
+				report(check.Failure{Rule: "h2-backward-ref-dangling", Space: "h2", Region: r.id, Card: seg,
+					Holder: a, Field: f,
+					Detail: fmt.Sprintf("backward reference targets %v, not a valid H1 object start", t)})
+				continue
+			}
+			need := cardOldGen
+			if isYoung(t) {
+				need = cardYoungGen
+			}
+			if st < need {
+				report(check.Failure{Rule: "h2-card-state", Space: "h2", Region: r.id, Card: seg,
+					Holder: a, Field: f,
+					Detail: fmt.Sprintf("segment state %d weaker than backward reference to %v requires (%d)", st, t, need)})
+			}
+		}
+		a += vm.Addr(size * vm.WordSize)
+	}
+}
+
+// depCovers reports whether the liveness machinery records the
+// cross-region edge from rf to rt: a dependency-list entry, or membership
+// in the same union-find group.
+func (th *TeraHeap) depCovers(rf, rt *region) bool {
+	if th.cfg.GroupMode == UnionFind {
+		return th.find(rf.id) == th.find(rt.id)
+	}
+	_, ok := rf.deps[rt.id]
+	return ok
+}
+
+func (th *TeraHeap) groupModeName() string {
+	if th.cfg.GroupMode == UnionFind {
+		return "union-find group"
+	}
+	return "dependency list"
+}

@@ -30,7 +30,9 @@ func vmClassesForSizeSeg() *vm.ClassTable {
 
 // rtNewJVM builds a TeraHeap JVM for the synthetic ablations.
 func rtNewJVM(thCfg core.Config, classes *vm.ClassTable, clock *simclock.Clock) *rt.JVM {
-	return rt.NewJVM(rt.Options{H1Size: 4 * storage.MB, TH: &thCfg}, classes, clock)
+	j := rt.NewJVM(rt.Options{H1Size: 4 * storage.MB, TH: &thCfg}, classes, clock)
+	applyVerify(j)
+	return j
 }
 
 // AblationStriping quantifies §7.1's remark that "using more NVMe SSDs

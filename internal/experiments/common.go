@@ -358,6 +358,9 @@ func RunSpark(cfg SparkRun) RunResult {
 		mode = spark.ModeTH
 		name = fmt.Sprintf("%s/th/%.0fGB", spec.name, cfg.DramGB)
 	}
+	if vr, ok := runtime.(interface{ SetVerify(bool) }); ok {
+		applyVerify(vr)
+	}
 
 	ctx := spark.NewContext(spark.Conf{
 		RT:                runtime,

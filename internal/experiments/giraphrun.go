@@ -107,6 +107,7 @@ func RunGiraph(cfg GiraphRun) RunResult {
 		jvm = rt.NewJVM(rt.Options{H1Size: GB(heapGB), HeapCfg: giraphHeapCfg(GB(heapGB))}, nil, clock)
 		name = fmt.Sprintf("%s/ooc/%.0fGB", spec.name, cfg.DramGB)
 	}
+	applyVerify(jvm)
 
 	res := RunResult{Name: name}
 	finish := func(err error) RunResult {

@@ -48,6 +48,7 @@ func BarrierOverhead() string {
 		} else {
 			jvm = rt.NewJVM(rt.Options{H1Size: 4 * storage.MB}, classes, clock)
 		}
+		applyVerify(jvm)
 		// Pointer-churn mutator: build and rewire small object graphs with
 		// DaCapo-like barrier density (a few reference stores per ~100ns
 		// of compute).
@@ -96,6 +97,7 @@ func AblationGroupMode() string {
 		thCfg.RegionSize = 16 * storage.KB
 		thCfg.GroupMode = mode
 		jvm := rt.NewJVM(rt.Options{H1Size: 4 * storage.MB, TH: &thCfg}, classes, clock)
+		applyVerify(jvm)
 
 		const chains, chainLen, payload = 40, 3, 128
 		type link struct {

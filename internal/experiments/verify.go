@@ -1,0 +1,25 @@
+package experiments
+
+// verifyRuns enables before/after-collection heap verification on every
+// runtime the experiments construct (the teraheap-bench -verify flag; the
+// TH_VERIFY=1 environment variable achieves the same at the collector
+// level without going through this switch).
+var verifyRuns bool
+
+// SetVerify toggles heap verification for subsequently constructed
+// experiment runtimes and returns the previous setting.
+func SetVerify(v bool) bool {
+	prev := verifyRuns
+	verifyRuns = v
+	return prev
+}
+
+// applyVerify enables verification on a freshly built runtime when the
+// -verify flag is set. Every runtime kind (rt.JVM in its PS, TeraHeap,
+// memory-mode and Panthera configurations, and g1.G1 with or without a
+// second heap) implements SetVerify.
+func applyVerify(r interface{ SetVerify(bool) }) {
+	if verifyRuns {
+		r.SetVerify(true)
+	}
+}

@@ -8,9 +8,11 @@ package gc
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"time"
 
+	"github.com/carv-repro/teraheap-go/internal/check"
 	"github.com/carv-repro/teraheap-go/internal/heap"
 	"github.com/carv-repro/teraheap-go/internal/simclock"
 	"github.com/carv-repro/teraheap-go/internal/vm"
@@ -50,6 +52,11 @@ func DefaultCostParams() CostParams {
 type Config struct {
 	Heap  heap.Config
 	Costs CostParams
+
+	// Verify runs the internal/check invariant verifier before and after
+	// every minor and major GC (the VerifyBeforeGC/VerifyAfterGC analog).
+	// Also enabled by the TH_VERIFY=1 environment variable.
+	Verify bool
 }
 
 // OOMError reports that the heap could not satisfy an allocation even
@@ -93,12 +100,19 @@ type Collector struct {
 	// barrierEnabled mirrors the paper's EnableTeraHeap flag: when false,
 	// the extra H2 range check in the post-write barrier is compiled out.
 	barrierEnabled bool
+
+	// verify runs the invariant verifier around every GC pause.
+	verify bool
 }
 
 // New builds a collector over a DRAM-backed H1. th may be nil for a
 // vanilla JVM (no H2).
 func New(cfg Config, as *vm.AddressSpace, classes *vm.ClassTable, clock *simclock.Clock, th SecondHeap) *Collector {
-	return NewWithHeap(heap.New(cfg.Heap, as), cfg.Costs, as, classes, clock, th)
+	c := NewWithHeap(heap.New(cfg.Heap, as), cfg.Costs, as, classes, clock, th)
+	if cfg.Verify {
+		c.verify = true
+	}
+	return c
 }
 
 // NewWithHeap builds a collector over an already laid-out (and mapped) H1;
@@ -117,8 +131,38 @@ func NewWithHeap(h1 *heap.H1, costs CostParams, as *vm.AddressSpace, classes *vm
 		Costs:          costs,
 		startArray:     make([]vm.Addr, h1.Cards.NumCards()),
 		barrierEnabled: !noTH,
+		verify:         os.Getenv("TH_VERIFY") == "1",
 	}
 	return c
+}
+
+// SetVerify enables or disables invariant verification around every GC.
+func (c *Collector) SetVerify(v bool) { c.verify = v }
+
+// VerifyNow runs the full invariant verifier immediately and returns the
+// violations found (empty when the heap is consistent). It never charges
+// simulated time.
+func (c *Collector) VerifyNow() []check.Failure {
+	v := check.PSView{
+		AS:         c.Mem.AS,
+		Classes:    c.Mem.Classes,
+		H1:         c.H1,
+		Roots:      c.Roots,
+		StartArray: c.startArray,
+		Clock:      c.Clock,
+	}
+	if h2, ok := c.TH.(check.H2); ok {
+		v.H2 = h2
+	}
+	return check.VerifyPS(v)
+}
+
+// runVerify panics with a structured report if any invariant is violated;
+// called before and after each GC pause when verification is enabled.
+func (c *Collector) runVerify(when string) {
+	if failures := c.VerifyNow(); len(failures) > 0 {
+		panic(check.Report(when, failures))
+	}
 }
 
 // AllocPretenured places an object directly in the old generation (the

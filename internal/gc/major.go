@@ -15,6 +15,9 @@ func (c *Collector) MajorGC() error {
 	if c.oom != nil {
 		return c.oom
 	}
+	if c.verify {
+		c.runVerify("before major GC")
+	}
 	prevCat := c.Clock.SetContext(simclock.MajorGC)
 	defer c.Clock.SetContext(prevCat)
 	before := c.Clock.Breakdown()
@@ -58,6 +61,9 @@ func (c *Collector) MajorGC() error {
 	cy.OldOccupancyAfter = c.H1.OldOccupancy()
 	cy.ReclaimedBytes = usedBefore - c.H1.Used()
 	c.stats.record(cy)
+	if c.verify {
+		c.runVerify("after major GC")
+	}
 	return nil
 }
 
@@ -310,6 +316,23 @@ func (c *Collector) majorPrecompact(mk *markState, cy *Cycle) (*forwarding, erro
 func (c *Collector) majorAdjust(fw *forwarding) int64 {
 	m := c.Mem
 	var refs int64
+
+	// Backward references held by existing H2 objects. This must run
+	// before the forwarding loop below: the scan recomputes each
+	// segment's card state from the objects it can see, and the images of
+	// objects bound for H2 this cycle are not committed until the compact
+	// phase — so card-state raises recorded for them by the forwarding
+	// loop would be clobbered if the scan ran afterwards, leaving their
+	// backward references invisible to the next major GC.
+	c.TH.ScanBackwardRefs(true, func(_ uint64, t vm.Addr) vm.Addr {
+		nt, ok := adjustRef(fw.src, fw.dst, t)
+		if !ok {
+			panic(fmt.Sprintf("gc: H2 backward reference to unmarked %v", t))
+		}
+		refs++
+		return nt
+	}, func(vm.Addr) bool { return false })
+
 	for i, a := range fw.src {
 		n := m.NumRefs(a)
 		toH2 := fw.inH2(i)
@@ -355,16 +378,6 @@ func (c *Collector) majorAdjust(fw *forwarding) int64 {
 		h.Set(nt)
 	})
 
-	// Backward references held by existing H2 objects.
-	c.TH.ScanBackwardRefs(true, func(_ uint64, t vm.Addr) vm.Addr {
-		nt, ok := adjustRef(fw.src, fw.dst, t)
-		if !ok {
-			panic(fmt.Sprintf("gc: H2 backward reference to unmarked %v", t))
-		}
-		refs++
-		return nt
-	}, func(vm.Addr) bool { return false })
-
 	return refs
 }
 
@@ -382,7 +395,7 @@ func (c *Collector) majorCompact(fw *forwarding, cy *Cycle) {
 			for w := 0; w < size; w++ {
 				image[w] = m.AS.Load(src + vm.Addr(w*vm.WordSize))
 			}
-			image[0] &^= (1 << 24) | (1 << 25) // clear mark + closure bits
+			image[0] &^= vm.FlagMark | vm.FlagClosure
 			c.TH.CommitMove(dst, image)
 			cy.BytesMovedToH2 += int64(size) * vm.WordSize
 			cy.ObjectsMovedH2++
@@ -392,7 +405,7 @@ func (c *Collector) majorCompact(fw *forwarding, cy *Cycle) {
 			m.CopyObject(dst, src, size)
 		}
 		st := m.Status(dst)
-		m.SetStatus(dst, st&^((1<<24)|(1<<25)))
+		m.SetStatus(dst, st&^uint64(vm.FlagMark|vm.FlagClosure))
 		cy.BytesCopied += int64(size) * vm.WordSize
 	}
 

@@ -29,6 +29,12 @@ type scavenger struct {
 	h2moves  []pendingH2Move
 	h2head   int
 
+	// oldTop snapshots the old generation's top at scavenge start. The
+	// dirty-card walk is bounded by it so that objects promoted mid-scan
+	// into a not-yet-visited dirty card are scanned only once, via the
+	// worklist in drain(), not a second time by the card walk.
+	oldTop vm.Addr
+
 	bytesCopied   int64
 	bytesPromoted int64
 	bytesToH2     int64
@@ -43,11 +49,15 @@ func (c *Collector) MinorGC() error {
 	if c.oom != nil {
 		return c.oom
 	}
+	if c.verify {
+		c.runVerify("before minor GC")
+	}
 	prevCat := c.Clock.SetContext(simclock.MinorGC)
 	defer c.Clock.SetContext(prevCat)
 	before := c.Clock.Breakdown()
 
-	s := &scavenger{c: c, worklist: c.scavWorklist[:0], h2moves: c.scavH2Moves[:0]}
+	s := &scavenger{c: c, worklist: c.scavWorklist[:0], h2moves: c.scavH2Moves[:0],
+		oldTop: c.H1.Old.Top}
 
 	// Roots 1: handles.
 	c.Roots.ForEach(func(h *vm.Handle) {
@@ -102,6 +112,9 @@ func (c *Collector) MinorGC() error {
 		OldOccupancyAfter: c.H1.OldOccupancy(),
 		CardsScanned:      s.cardsScanned,
 	})
+	if c.verify {
+		c.runVerify("after minor GC")
+	}
 	return nil
 }
 
@@ -216,7 +229,10 @@ func (s *scavenger) commitH2Move(mv pendingH2Move) {
 	label := m.Label(mv.src)
 
 	image := make([]uint64, size)
-	image[0] = mv.status &^ (1 << 24) // clear mark bit; keep class/age
+	// Clear mark AND closure bits, matching majorCompact: a young object
+	// selected into a closure by a prior major mark and then
+	// direct-promoted must not carry a stale closure bit into H2.
+	image[0] = mv.status &^ (vm.FlagMark | vm.FlagClosure)
 	image[1] = shape
 	image[2] = label
 	for i := 0; i < numRefs; i++ {
@@ -270,7 +286,7 @@ func (s *scavenger) scanDirtyCards() {
 		_, hi := cards.CardBounds(i)
 		obj := c.startArray[i]
 		anyYoung := false
-		for !obj.IsNull() && obj < hi && obj < c.H1.Old.Top {
+		for !obj.IsNull() && obj < hi && obj < s.oldTop {
 			s.cardObjects++
 			nrefs := m.NumRefs(obj)
 			for f := 0; f < nrefs; f++ {

@@ -52,16 +52,25 @@ func newShadowModel(t *testing.T, withTH bool, seed uint64) *shadowModel {
 
 func (m *shadowModel) alloc(left, right int) {
 	var l, r *shadowNode
-	var la, ra vm.Addr
 	if left >= 0 && left < len(m.shadow) {
-		l, la = m.shadow[left], m.roots[left].Addr()
+		l = m.shadow[left]
 	}
 	if right >= 0 && right < len(m.shadow) {
-		r, ra = m.shadow[right], m.roots[right].Addr()
+		r = m.shadow[right]
 	}
 	a, err := m.jvm.Alloc(m.node)
 	if err != nil {
 		m.t.Fatalf("alloc: %v", err)
+	}
+	// Read the handles only after the allocation: it may trigger a GC that
+	// moves the targets, and a raw address captured before it would be
+	// stale.
+	var la, ra vm.Addr
+	if l != nil {
+		la = m.roots[left].Addr()
+	}
+	if r != nil {
+		ra = m.roots[right].Addr()
 	}
 	m.nextID++
 	m.jvm.WritePrim(a, 0, m.nextID)
@@ -131,7 +140,11 @@ func (m *shadowModel) verify() {
 }
 
 func runShadow(t *testing.T, withTH bool, seed uint64, steps int) {
-	m := newShadowModel(t, withTH, seed)
+	newShadowModel(t, withTH, seed).run(steps)
+}
+
+func (m *shadowModel) run(steps int) {
+	t, withTH := m.t, m.jvm.TeraHeap() != nil
 	for step := 0; step < steps; step++ {
 		switch m.rnd.Intn(10) {
 		case 0, 1, 2, 3, 4: // allocate, linking random existing nodes

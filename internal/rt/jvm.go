@@ -156,6 +156,9 @@ func (j *JVM) Clock() *simclock.Clock { return j.clock }
 // Collector exposes the underlying collector (experiments, tests).
 func (j *JVM) Collector() *gc.Collector { return j.collector }
 
+// SetVerify toggles before/after-collection heap verification.
+func (j *JVM) SetVerify(v bool) { j.collector.SetVerify(v) }
+
 // TeraHeap returns the H2 instance, or nil.
 func (j *JVM) TeraHeap() *core.TeraHeap { return j.th }
 

@@ -82,6 +82,7 @@ type mappedVMMemory struct {
 
 func (m mappedVMMemory) Load(a vm.Addr) uint64     { return m.f.Load(a.Word(m.base)) }
 func (m mappedVMMemory) Store(a vm.Addr, v uint64) { m.f.Store(a.Word(m.base), v) }
+func (m mappedVMMemory) Peek(a vm.Addr) uint64     { return m.f.PeekWord(a.Word(m.base)) }
 
 // nvmDirectMemory models byte-addressable NVM accessed with load/store
 // instructions (App Direct mode): every word access charges an amortized
@@ -121,3 +122,7 @@ func (m *nvmDirectMemory) Store(a vm.Addr, v uint64) {
 	m.dev.AccountWrite(vm.WordSize)
 	m.words[a.Word(m.base)] = v
 }
+
+// Peek reads a word without charging NVM access cost or device traffic;
+// invariant checks only.
+func (m *nvmDirectMemory) Peek(a vm.Addr) uint64 { return m.words[a.Word(m.base)] }

@@ -1,6 +1,9 @@
 package storage
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // PageCache is an LRU cache of fixed-size pages standing in for the kernel
 // page cache (the DR2 DRAM share in the paper's configurations). Misses
@@ -135,12 +138,32 @@ func (c *PageCache) DropAll() {
 
 // InvalidateRange drops any cached pages in [firstPage, lastPage] without
 // writeback; used when whole H2 regions are reclaimed (their contents are
-// dead, so dirty data need not reach the device).
+// dead, so dirty data need not reach the device). Readahead streams whose
+// expected next page falls in the range are reset: the stream's run ended
+// with the reclaimed region, and letting it linger would misclassify the
+// next unrelated fault nearby as sequential.
 func (c *PageCache) InvalidateRange(firstPage, lastPage int64) {
-	for p := firstPage; p <= lastPage; p++ {
-		if e, ok := c.entries[p]; ok {
-			c.unlink(e)
-			delete(c.entries, p)
+	if lastPage-firstPage+1 > int64(len(c.entries)) {
+		// Region reclaims cover far more pages than are resident; iterate
+		// the map instead of probing every page in the range.
+		for p, e := range c.entries {
+			if p >= firstPage && p <= lastPage {
+				c.unlink(e)
+				delete(c.entries, p)
+			}
+		}
+	} else {
+		for p := firstPage; p <= lastPage; p++ {
+			if e, ok := c.entries[p]; ok {
+				c.unlink(e)
+				delete(c.entries, p)
+			}
+		}
+	}
+	for i := range c.streams {
+		s := &c.streams[i]
+		if s.run > 0 && s.next >= firstPage && s.next <= lastPage {
+			*s = raStream{}
 		}
 	}
 }
@@ -196,6 +219,42 @@ func (c *PageCache) moveToFront(e *cacheEntry) {
 	}
 	c.unlink(e)
 	c.pushFront(e)
+}
+
+// CheckConsistency validates the cache's internal structure: the LRU list
+// and the page map must describe the same set of entries, the list links
+// must be well formed, and the capacity bound must hold. It returns the
+// first inconsistency found, or nil. Invariant checks and tests only.
+func (c *PageCache) CheckConsistency() error {
+	n := 0
+	var prev *cacheEntry
+	for e := c.head; e != nil; e = e.next {
+		if e.prev != prev {
+			return fmt.Errorf("pagecache: entry for page %d has prev %p, want %p", e.page, e.prev, prev)
+		}
+		got, ok := c.entries[e.page]
+		if !ok {
+			return fmt.Errorf("pagecache: page %d on LRU list but not in map", e.page)
+		}
+		if got != e {
+			return fmt.Errorf("pagecache: page %d maps to a different entry than the LRU node", e.page)
+		}
+		n++
+		if n > len(c.entries) {
+			return fmt.Errorf("pagecache: LRU list longer than map (%d entries) — cycle or leaked node", len(c.entries))
+		}
+		prev = e
+	}
+	if prev != c.tail {
+		return fmt.Errorf("pagecache: tail %p does not terminate the LRU list (last node %p)", c.tail, prev)
+	}
+	if n != len(c.entries) {
+		return fmt.Errorf("pagecache: LRU list has %d entries, map has %d", n, len(c.entries))
+	}
+	if c.capacity > 0 && n > c.capacity {
+		return fmt.Errorf("pagecache: %d resident pages exceed capacity %d", n, c.capacity)
+	}
+	return nil
 }
 
 // raStream is one tracked sequential fault stream.

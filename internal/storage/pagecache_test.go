@@ -1,0 +1,96 @@
+package storage_test
+
+import (
+	"testing"
+
+	"github.com/carv-repro/teraheap-go/internal/simclock"
+	"github.com/carv-repro/teraheap-go/internal/storage"
+)
+
+// TestInvalidateRangeResetsStreams is the regression test for the
+// readahead-stream bug: invalidating a range used to drop the pages but
+// leave a sequential stream whose expected next page pointed into the
+// invalidated range, so the first unrelated fault there was misclassified
+// as sequential (readahead-batched) traffic.
+func TestInvalidateRangeResetsStreams(t *testing.T) {
+	clock := simclock.New()
+	dev := storage.NewDevice(storage.NVMeSSD, clock)
+	pc := storage.NewPageCache(dev, 4096, 16)
+
+	// Establish a sequential stream: run reaches 3 on the third fault.
+	pc.Touch(10, false)
+	pc.Touch(11, false)
+	pc.Touch(12, false)
+	if pc.SeqFaults != 1 {
+		t.Fatalf("SeqFaults = %d after 3 sequential touches, want 1", pc.SeqFaults)
+	}
+
+	// The region containing the stream's continuation is reclaimed.
+	pc.InvalidateRange(13, 30)
+
+	// A fault at the old continuation point is NOT a continuation of the
+	// dead stream; it must be classified as a fresh random fault.
+	pc.Touch(13, false)
+	if pc.SeqFaults != 1 {
+		t.Fatalf("SeqFaults = %d after invalidation, want 1 (stale stream not reset)", pc.SeqFaults)
+	}
+	if err := pc.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInvalidateRangeHugeRange exercises the map-iteration path taken when
+// the range is wider than the resident set.
+func TestInvalidateRangeHugeRange(t *testing.T) {
+	clock := simclock.New()
+	dev := storage.NewDevice(storage.NVMeSSD, clock)
+	pc := storage.NewPageCache(dev, 4096, 16)
+
+	for p := int64(0); p < 8; p++ {
+		pc.Touch(p*100, true) // sparse, dirty pages
+	}
+	if pc.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", pc.Len())
+	}
+	wb := pc.Writebacks
+	pc.InvalidateRange(0, 1<<40)
+	if pc.Len() != 0 {
+		t.Fatalf("Len = %d after full-range invalidation, want 0", pc.Len())
+	}
+	if pc.Writebacks != wb {
+		t.Fatalf("invalidation wrote back %d dirty pages; reclaimed data must not reach the device", pc.Writebacks-wb)
+	}
+	for p := int64(0); p < 8; p++ {
+		if pc.Resident(p * 100) {
+			t.Fatalf("page %d still resident", p*100)
+		}
+	}
+	if err := pc.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckConsistencyAfterWorkout runs a mixed touch/evict/invalidate
+// workload and asserts the LRU list and map stay in lock step.
+func TestCheckConsistencyAfterWorkout(t *testing.T) {
+	clock := simclock.New()
+	dev := storage.NewDevice(storage.NVMeSSD, clock)
+	pc := storage.NewPageCache(dev, 4096, 4)
+
+	for i := 0; i < 200; i++ {
+		pc.Touch(int64(i*7%23), i%3 == 0)
+		if i%17 == 0 {
+			pc.InvalidateRange(int64(i%23), int64(i%23+3))
+		}
+		if err := pc.CheckConsistency(); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+	}
+	pc.DropAll()
+	if err := pc.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	if pc.Len() != 0 {
+		t.Fatalf("Len = %d after DropAll", pc.Len())
+	}
+}

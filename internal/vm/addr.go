@@ -73,6 +73,14 @@ func (r *RAM) Load(a Addr) uint64 { return r.words[a.Word(r.base)] }
 // Store writes the word at a.
 func (r *RAM) Store(a Addr, v uint64) { r.words[a.Word(r.base)] = v }
 
+// Peeker is optionally implemented by Memory backends that can read a
+// word without charging simulated cost. The invariant verifier reads the
+// whole heap through Peek so that enabling verification never perturbs
+// the deterministic clock.
+type Peeker interface {
+	Peek(a Addr) uint64
+}
+
 // Mapping binds an address range to a Memory implementation.
 type Mapping struct {
 	Start, End Addr // [Start, End)
@@ -107,6 +115,20 @@ func (as *AddressSpace) Load(a Addr) uint64 {
 	m := as.Resolve(a)
 	if m == nil {
 		panic(fmt.Sprintf("vm: load from unmapped address %v", a))
+	}
+	return m.Load(a)
+}
+
+// Peek reads the word at a without charging simulated cost: backends
+// implementing Peeker are read directly, anything else falls back to Load
+// (RAM loads are already free). Invariant checks and tests only.
+func (as *AddressSpace) Peek(a Addr) uint64 {
+	m := as.Resolve(a)
+	if m == nil {
+		panic(fmt.Sprintf("vm: peek of unmapped address %v", a))
+	}
+	if p, ok := m.(Peeker); ok {
+		return p.Peek(a)
 	}
 	return m.Load(a)
 }

@@ -18,15 +18,17 @@ const (
 	hdrLabel  = 2
 )
 
-// Status-word encoding.
+// Status-word encoding. The masks are exported because GC image builders
+// (minor direct promotion, major compaction, G1 closure moves) and the
+// invariant verifier all need to strip or test the transient GC bits.
 const (
-	classMask   = 0xFFFF // bits 0-15
+	ClassMask   = 0xFFFF // bits 0-15
 	ageShift    = 16     // bits 16-19
 	ageMask     = 0xF
-	flagMark    = 1 << 24 // live, set by major GC marking
-	flagClosure = 1 << 25 // selected for H2 movement this major GC
-	flagFwd     = 1 << 63 // word 0 holds a forwarding pointer
-	fwdAddrMask = (1 << 48) - 1
+	FlagMark    = 1 << 24 // live, set by major GC marking
+	FlagClosure = 1 << 25 // selected for H2 movement this major GC
+	FlagFwd     = 1 << 63 // word 0 holds a forwarding pointer
+	FwdAddrMask = (1 << 48) - 1
 )
 
 // MaxAge is the tenuring ceiling representable in the header.
@@ -76,7 +78,7 @@ func (m *Mem) Shape(a Addr) uint64 { return m.AS.Load(a + hdrShape*WordSize) }
 
 // ClassOf returns the class of the object at a.
 func (m *Mem) ClassOf(a Addr) *Class {
-	return m.Classes.Get(ClassID(m.Status(a) & classMask))
+	return m.Classes.Get(ClassID(m.Status(a) & ClassMask))
 }
 
 // SizeWords returns the total object size in words including the header.
@@ -103,16 +105,16 @@ func (m *Mem) SetAge(a Addr, age int) {
 }
 
 // Marked reports the major-GC mark bit.
-func (m *Mem) Marked(a Addr) bool { return m.Status(a)&flagMark != 0 }
+func (m *Mem) Marked(a Addr) bool { return m.Status(a)&FlagMark != 0 }
 
 // SetMarked sets or clears the major-GC mark bit.
-func (m *Mem) SetMarked(a Addr, v bool) { m.setFlag(a, flagMark, v) }
+func (m *Mem) SetMarked(a Addr, v bool) { m.setFlag(a, FlagMark, v) }
 
 // InClosure reports whether the object was selected for H2 movement.
-func (m *Mem) InClosure(a Addr) bool { return m.Status(a)&flagClosure != 0 }
+func (m *Mem) InClosure(a Addr) bool { return m.Status(a)&FlagClosure != 0 }
 
 // SetInClosure sets or clears the H2-closure bit.
-func (m *Mem) SetInClosure(a Addr, v bool) { m.setFlag(a, flagClosure, v) }
+func (m *Mem) SetInClosure(a Addr, v bool) { m.setFlag(a, FlagClosure, v) }
 
 func (m *Mem) setFlag(a Addr, flag uint64, v bool) {
 	s := m.Status(a)
@@ -125,14 +127,14 @@ func (m *Mem) setFlag(a Addr, flag uint64, v bool) {
 }
 
 // Forwarded reports whether the object has been forwarded (scavenged).
-func (m *Mem) Forwarded(a Addr) bool { return m.Status(a)&flagFwd != 0 }
+func (m *Mem) Forwarded(a Addr) bool { return m.Status(a)&FlagFwd != 0 }
 
 // Forwardee returns the forwarding pointer; only valid when Forwarded.
-func (m *Mem) Forwardee(a Addr) Addr { return Addr(m.Status(a) & fwdAddrMask) }
+func (m *Mem) Forwardee(a Addr) Addr { return Addr(m.Status(a) & FwdAddrMask) }
 
 // SetForwardee overwrites the status word with a forwarding pointer.
 func (m *Mem) SetForwardee(a, to Addr) {
-	m.SetStatus(a, flagFwd|uint64(to)&fwdAddrMask)
+	m.SetStatus(a, FlagFwd|uint64(to)&FwdAddrMask)
 }
 
 // Label returns the TeraHeap label (0 = untagged).
@@ -173,6 +175,25 @@ func (m *Mem) CopyObject(dst, src Addr, sizeWords int) {
 		m.AS.Store(dst+Addr(i*WordSize), m.AS.Load(src+Addr(i*WordSize)))
 	}
 }
+
+// Pure decoders over raw header words, for code (the invariant verifier,
+// analyses) that reads headers through a cost-free peek path rather than
+// the charging Load path. They mirror the Mem accessors above exactly.
+
+// StatusForwarded reports whether a raw status word is a forwarding pointer.
+func StatusForwarded(status uint64) bool { return status&FlagFwd != 0 }
+
+// StatusForwardee decodes the forwarding target of a raw status word.
+func StatusForwardee(status uint64) Addr { return Addr(status & FwdAddrMask) }
+
+// StatusClassID decodes the class id of a raw status word.
+func StatusClassID(status uint64) ClassID { return ClassID(status & ClassMask) }
+
+// ShapeSizeWords decodes the total object size (in words) of a raw shape word.
+func ShapeSizeWords(shape uint64) int { return int(uint32(shape)) }
+
+// ShapeNumRefs decodes the reference-field count of a raw shape word.
+func ShapeNumRefs(shape uint64) int { return int(shape >> 32) }
 
 // Describe renders a short debugging description of the object at a.
 func (m *Mem) Describe(a Addr) string {
