@@ -2,16 +2,21 @@
 //
 // Usage:
 //
-//	teraheap-bench [-csv] [-j N] [-verify] <experiment> [workload]
+//	teraheap-bench [-csv] [-j N] [-verify] [-fault PLAN] <experiment> [workload]
 //
 // Experiments: fig6-spark, fig6-giraph, fig7, fig8, fig9a, fig9b, fig10,
 // fig11a, fig11b, fig12a, fig12b, fig12c, fig13a, fig13b, table5,
-// barrier, ablation-*, all.
+// barrier, ablation-*, chaos, all.
 //
 // -j N sets the experiment executor's worker count (default: GOMAXPROCS).
 // Results merge in submission order, so figure output on stdout is
 // byte-identical for every -j; "all" additionally reports per-figure
 // wall-clock times on stderr.
+//
+// -fault installs a deterministic fault-injection plan (see internal/fault)
+// into every run; the same seed yields byte-identical output. The exit code
+// is 1 when any run ended OOM/faulted/panicked — the results table still
+// prints in full, so scripts get partial results plus a failure signal.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"time"
 
 	"github.com/carv-repro/teraheap-go/internal/experiments"
+	"github.com/carv-repro/teraheap-go/internal/fault"
 	"github.com/carv-repro/teraheap-go/internal/metrics"
 	"github.com/carv-repro/teraheap-go/internal/runner"
 	"github.com/carv-repro/teraheap-go/internal/workloads"
@@ -68,6 +74,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jobs := fs.Int("j", 0, "parallel experiment runs (0 = GOMAXPROCS)")
 	compare := fs.Bool("compare", false, "with \"all\": rerun the suite at -j 1 and report the speedup")
 	verify := fs.Bool("verify", false, "run the heap invariant verifier before and after every GC")
+	faultSpec := fs.String("fault", "", "fault-injection plan, e.g. seed=1,dev-err=0.01,wb-fail=0.05")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -75,10 +82,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		usage(stderr)
 		return 2
 	}
+	var plan *fault.Plan
+	if *faultSpec != "" {
+		p, err := fault.ParsePlan(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(stderr, "teraheap-bench: -fault: %v\n", err)
+			return 2
+		}
+		plan = p
+	}
 	prev := runner.SetDefaultWorkers(*jobs)
 	defer runner.SetDefaultWorkers(prev)
 	prevVerify := experiments.SetVerify(*verify)
 	defer experiments.SetVerify(prevVerify)
+	prevPlan := experiments.SetFaultPlan(plan)
+	defer experiments.SetFaultPlan(prevPlan)
+	experiments.ResetBadRuns()
 
 	what := fs.Arg(0)
 	arg := fs.Arg(1)
@@ -128,6 +147,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		} else {
 			fmt.Fprint(stdout, r.Format())
 		}
+	case "chaos":
+		// The chaos harness expects faulted/OOM runs under an aggressive
+		// plan; its exit code flags only panics (a fault that escaped the
+		// typed-error paths), not degraded outcomes.
+		r := experiments.RunChaos(plan)
+		fmt.Fprint(stdout, r.Format())
+		if r.Panicked() {
+			fmt.Fprintln(stderr, "teraheap-bench: chaos: at least one run panicked")
+			return 1
+		}
+		return 0
 	case "all":
 		parallel := runAll(stdout, stderr)
 		if *compare {
@@ -153,6 +183,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			usage(stderr)
 			return 2
 		}
+	}
+	// Degraded results still print in full above; the exit code tells
+	// scripts the table contains OOM/faulted/panicked runs.
+	if n := experiments.BadRuns(); n > 0 {
+		fmt.Fprintf(stderr, "teraheap-bench: %d run(s) ended OOM/faulted/panicked (results above are partial)\n", n)
+		return 1
 	}
 	return 0
 }
@@ -183,14 +219,14 @@ func contains(xs []string, s string) bool {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, `usage: teraheap-bench [-csv] [-j N] [-compare] <experiment> [workload]
+	fmt.Fprintln(w, `usage: teraheap-bench [-csv] [-j N] [-compare] [-verify] [-fault PLAN] <experiment> [workload]
 
 experiments:
   fig6-spark [PR|CC|SSSP|SVD|TR|LR|LgR|SVM|BC|RL]
   fig6-giraph [PR|CDLP|WCC|BFS|SSSP]
   fig7 fig8 fig9a fig9b fig10 fig11a fig11b
   fig12a fig12b fig12c fig13a fig13b
-  table5 barrier all
+  table5 barrier all chaos
   ablation-groups ablation-striping ablation-hugepages
   ablation-dynamic ablation-sizeseg ablation-g1th
 
@@ -201,5 +237,15 @@ flags:
   -csv       emit fig6/fig7 results as CSV
   -verify    run the heap invariant verifier before and after every GC
              (the VerifyBeforeGC/VerifyAfterGC analog; panics on the first
-             violation; TH_VERIFY=1 in the environment does the same)`)
+             violation; TH_VERIFY=1 in the environment does the same)
+  -fault PLAN
+             deterministic fault-injection plan, a comma-separated DSL:
+             seed=N,dev-err=P,max-retries=N,backoff=DUR,spike=P[xF],
+             brownout=EVERY:LEN[xF],wb-fail=P,torn=P,h2-exhaust=P
+             (same seed => byte-identical results; empty = no faults)
+
+exit status: 0 clean; 1 when any run ended OOM/faulted/panicked (the full
+results table still prints); 2 usage errors. "chaos" runs a fixed schedule
+(fig7 pair, reduced-DRAM LR, fig9a hint pair) with the verifier forced on
+and exits 1 only if a run panicked — faulted runs are its expected output.`)
 }

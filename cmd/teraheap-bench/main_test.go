@@ -66,3 +66,59 @@ func TestSuiteNamesUnique(t *testing.T) {
 		seen[e.name] = true
 	}
 }
+
+func TestBadFaultPlan(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-fault", "seed=1,bogus=3", "fig7"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "-fault") {
+		t.Errorf("stderr missing -fault error:\n%s", stderr.String())
+	}
+}
+
+// TestFig7CleanExitsZero pins the no-fault contract: a healthy fig7 run
+// prints its report and exits 0.
+func TestFig7CleanExitsZero(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"fig7"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr:\n%s)", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "Fig 7") {
+		t.Errorf("stdout missing Fig 7 report:\n%s", stdout.String())
+	}
+}
+
+// TestFig7UnderFatalFaultsExitsOneWithResults drives fig7 into a latched
+// persistent device failure: the run must not panic, the table must still
+// print (partial results), and the exit code must be 1.
+func TestFig7UnderFatalFaultsExitsOneWithResults(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-verify", "-fault", "seed=1,dev-err=0.9,max-retries=2", "fig7"}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (stderr:\n%s)", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "Fig 7") {
+		t.Errorf("stdout missing partial Fig 7 report:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "OOM/faulted/panicked") {
+		t.Errorf("stderr missing degraded-suite notice:\n%s", stderr.String())
+	}
+}
+
+// TestChaosSubcommand runs the chaos schedule under a survivable plan: it
+// must exit 0 (faulted runs are expected; only panics fail it) and print
+// the outcome summary.
+func TestChaosSubcommand(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-fault", "seed=1,dev-err=0.02,wb-fail=0.05,torn=0.05,h2-exhaust=0.02", "chaos"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr:\n%s\nstdout:\n%s)", code, stderr.String(), stdout.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"== chaos:", "verifier on", "panicked=0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chaos report missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -78,6 +78,13 @@ func (th *TeraHeap) PrepareMove(label uint64, sizeWords int) (vm.Addr, bool) {
 		// Objects never span regions (§3.4).
 		return vm.NullAddr, false
 	}
+	if th.inj.H2Exhausted() {
+		// Injected exhaustion: report failure before reserving anything, as
+		// if no region could be allocated. The collector's fallback keeps
+		// the object in H1 (§3.2's graceful degradation).
+		th.stats.ForcedExhaustions++
+		return vm.NullAddr, false
+	}
 	label = th.placementLabel(label, sizeWords)
 	r := th.openRegion(label, need)
 	if r == nil {
@@ -173,6 +180,17 @@ func (th *TeraHeap) flushRegion(r *region) {
 		th.mapped.StageWords(w.word, w.data)
 	}
 	th.mapped.ChargeAsyncWrite(r.buf.pendingBytes)
+	if th.inj.TornFlush() {
+		// The flush tore mid-write. The staged images are still in DRAM
+		// (the buffer is only released below), so recovery replays the
+		// whole batch: stage the words again and pay the device a second
+		// time. Idempotent on contents, visible only in time and counters.
+		th.stats.TornFlushReplays++
+		for _, w := range r.buf.writes {
+			th.mapped.StageWords(w.word, w.data)
+		}
+		th.mapped.ChargeAsyncWrite(r.buf.pendingBytes)
+	}
 	th.stats.BufferFlushes++
 	r.buf.writes = r.buf.writes[:0]
 	r.buf.pendingBytes = 0
@@ -323,6 +341,11 @@ func (th *TeraHeap) freeRegion(r *region) {
 	r.buf.pendingBytes = 0
 	th.freeRegions = append(th.freeRegions, r.id)
 }
+
+// PendingReservations returns the number of PrepareMove reservations not
+// yet committed. Outside a GC cycle it must be zero: a nonzero value means
+// a reservation leaked (tests and the H2-exhaustion fallback coverage).
+func (th *TeraHeap) PendingReservations() int { return len(th.reserved) }
 
 // UsedBytes returns the bytes currently allocated in H2.
 func (th *TeraHeap) UsedBytes() int64 {

@@ -40,6 +40,13 @@ type Stats struct {
 	HighThresholdTrips int64
 	DynamicAdjustments int64
 
+	// Robustness counters: hint calls rejected for invalid labels, forced
+	// PrepareMove failures injected by the fault plane, and promotion-buffer
+	// flushes replayed after an injected torn write.
+	InvalidHints      int64
+	ForcedExhaustions int64
+	TornFlushReplays  int64
+
 	RegionSnapshots []RegionSnapshot
 }
 

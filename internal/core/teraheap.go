@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"time"
 
+	"github.com/carv-repro/teraheap-go/internal/fault"
 	"github.com/carv-repro/teraheap-go/internal/gc"
 	"github.com/carv-repro/teraheap-go/internal/simclock"
 	"github.com/carv-repro/teraheap-go/internal/storage"
@@ -129,6 +130,10 @@ type TeraHeap struct {
 	consecTrips int
 	calmCycles  int
 
+	// inj, when non-nil, forces PrepareMove exhaustion and tears promotion
+	// buffer flushes per the run's fault plan.
+	inj *fault.Injector
+
 	stats Stats
 }
 
@@ -141,13 +146,49 @@ func (m mappedMemory) Load(a vm.Addr) uint64     { return m.f.Load(a.Word(vm.H2B
 func (m mappedMemory) Store(a vm.Addr, v uint64) { m.f.Store(a.Word(vm.H2Base), v) }
 func (m mappedMemory) Peek(a vm.Addr) uint64     { return m.f.PeekWord(a.Word(vm.H2Base)) }
 
-// New builds a TeraHeap over dev and maps H2 into as at vm.H2Base.
-func New(cfg Config, dev *storage.Device, as *vm.AddressSpace, clock *simclock.Clock) *TeraHeap {
-	if cfg.RegionSize <= 0 || cfg.H2Size < cfg.RegionSize {
-		panic(fmt.Sprintf("core: bad H2 geometry (size %d, region %d)", cfg.H2Size, cfg.RegionSize))
+// ConfigError is the typed error for an invalid TeraHeap configuration.
+// Bad configurations come from user input (experiment sweeps, CLI flags),
+// so they are reported as errors, not panics.
+type ConfigError struct{ Reason string }
+
+// Error describes the invalid configuration.
+func (e *ConfigError) Error() string { return "core: invalid config: " + e.Reason }
+
+// Validate checks the configuration for user-correctable mistakes.
+func (cfg *Config) Validate() error {
+	switch {
+	case cfg.RegionSize <= 0 || cfg.H2Size < cfg.RegionSize:
+		return &ConfigError{Reason: fmt.Sprintf("bad H2 geometry (size %d, region %d)", cfg.H2Size, cfg.RegionSize)}
+	case cfg.CardSegmentSize <= 0:
+		return &ConfigError{Reason: fmt.Sprintf("non-positive card segment size %d", cfg.CardSegmentSize)}
+	case cfg.RegionSize%cfg.CardSegmentSize != 0:
+		return &ConfigError{Reason: fmt.Sprintf("region size %d not a multiple of card segment size %d", cfg.RegionSize, cfg.CardSegmentSize)}
+	case cfg.HighThreshold < 0 || cfg.HighThreshold > 1:
+		return &ConfigError{Reason: fmt.Sprintf("high threshold %g outside [0,1]", cfg.HighThreshold)}
+	case cfg.LowThreshold < 0 || cfg.LowThreshold > 1:
+		return &ConfigError{Reason: fmt.Sprintf("low threshold %g outside [0,1]", cfg.LowThreshold)}
+	case cfg.PageSize <= 0:
+		return &ConfigError{Reason: fmt.Sprintf("non-positive page size %d", cfg.PageSize)}
 	}
-	if cfg.CardSegmentSize <= 0 {
-		panic("core: non-positive card segment size")
+	return nil
+}
+
+// New builds a TeraHeap over dev and maps H2 into as at vm.H2Base. It
+// panics on an invalid configuration; use NewChecked where bad configs
+// must surface as a failed run rather than kill the process.
+func New(cfg Config, dev *storage.Device, as *vm.AddressSpace, clock *simclock.Clock) *TeraHeap {
+	th, err := NewChecked(cfg, dev, as, clock)
+	if err != nil {
+		panic(err.Error())
+	}
+	return th
+}
+
+// NewChecked builds a TeraHeap, returning a *ConfigError instead of
+// panicking when the configuration is invalid.
+func NewChecked(cfg Config, dev *storage.Device, as *vm.AddressSpace, clock *simclock.Clock) (*TeraHeap, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	if cfg.GCThreads < 1 {
 		cfg.GCThreads = 1
@@ -166,8 +207,13 @@ func New(cfg Config, dev *storage.Device, as *vm.AddressSpace, clock *simclock.C
 	}
 	as.Map(vm.H2Base, vm.H2Base+vm.Addr(cfg.H2Size), mappedMemory{f: th.mapped})
 	th.cards = newCardTable(cfg, int(numRegions))
-	return th
+	return th, nil
 }
+
+// SetFaultInjector attaches the run's fault injector: forced PrepareMove
+// exhaustion and torn promotion-buffer flushes. The same injector should
+// be attached to the backing device so all decisions share one counter.
+func (th *TeraHeap) SetFaultInjector(in *fault.Injector) { th.inj = in }
 
 // AttachMem wires the object accessors (built after the collector) into
 // the card-table scanner.
@@ -183,10 +229,14 @@ func (th *TeraHeap) Config() Config { return th.cfg }
 
 // TagRoot tags the root key-object held by h with a label, marking it (and
 // later its transitive closure) as a candidate for H2 placement. This is
-// the h2_tag_root(obj, label) call of the paper.
+// the h2_tag_root(obj, label) call of the paper. Label 0 is reserved for
+// untagged objects; a hint with label 0 is counted and ignored, the way
+// the JVM ignores a malformed hint from application code rather than
+// crashing the process.
 func (th *TeraHeap) TagRoot(h *vm.Handle, label uint64) {
 	if label == 0 {
-		panic("core: label 0 is reserved for untagged objects")
+		th.stats.InvalidHints++
+		return
 	}
 	a := h.Addr()
 	if a.IsNull() || vm.InH2(a) {
@@ -203,6 +253,10 @@ func (th *TeraHeap) TagRoot(h *vm.Handle, label uint64) {
 // move hints are disabled (Fig 9a's NH configuration) the call is a no-op
 // and movement relies on the threshold mechanism alone.
 func (th *TeraHeap) Move(label uint64) {
+	if label == 0 {
+		th.stats.InvalidHints++
+		return
+	}
 	th.clock.Charge(simclock.Other, 50*time.Nanosecond)
 	if !th.cfg.EnableMoveHint {
 		return

@@ -140,8 +140,8 @@ func AblationG1TeraHeap() string {
 	for i, w := range workloads {
 		plain, combo := runs[2*i], runs[2*i+1]
 		rows = append(rows,
-			metrics.Row{Name: w + "/G1", B: plain.B, OOM: plain.OOM},
-			metrics.Row{Name: w + "/G1+TH", B: combo.B, OOM: combo.OOM})
+			plain.RowNamed(w+"/G1"),
+			combo.RowNamed(w+"/G1+TH"))
 	}
 	sb.WriteString(metrics.FormatBreakdown("G1 vs G1+TH", rows, true))
 	return sb.String()

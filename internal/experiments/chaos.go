@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"github.com/carv-repro/teraheap-go/internal/core"
+	"github.com/carv-repro/teraheap-go/internal/fault"
+	"github.com/carv-repro/teraheap-go/internal/giraph"
+)
+
+// ChaosResult captures one chaos-harness execution: the plan it ran under
+// and every run's outcome, in schedule order.
+type ChaosResult struct {
+	Plan *fault.Plan
+	Runs []RunResult
+}
+
+// Counts buckets the runs by outcome. A run lands in exactly one bucket:
+// panicked (executor-recovered), faulted (latched persistent device
+// failure), oom, degraded (absorbed injected faults and still finished),
+// or healthy.
+func (r ChaosResult) Counts() (healthy, degraded, faulted, oom, panicked int) {
+	for _, run := range r.Runs {
+		switch {
+		case run.Failed:
+			panicked++
+		case run.Faulted:
+			faulted++
+		case run.OOM:
+			oom++
+		case run.Degraded():
+			degraded++
+		default:
+			healthy++
+		}
+	}
+	return
+}
+
+// Panicked reports whether any run died by panic — the one outcome the
+// chaos harness treats as a bug. Faulted and OOM runs are expected under
+// an aggressive plan; a panic means a fault escaped the typed-error paths.
+func (r ChaosResult) Panicked() bool {
+	for _, run := range r.Runs {
+		if run.Failed {
+			return true
+		}
+	}
+	return false
+}
+
+// Format renders the chaos report. The output is a pure function of the
+// plan and the run outcomes, so two executions under the same seed are
+// byte-identical.
+func (r ChaosResult) Format() string {
+	plan := "(no faults)"
+	if r.Plan != nil {
+		plan = r.Plan.String()
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== chaos: %d runs under plan [%s], verifier on ==\n", len(r.Runs), plan)
+	for _, run := range r.Runs {
+		status := "ok"
+		switch {
+		case run.Failed:
+			status = "PANIC"
+		case run.Faulted:
+			status = "FAULTED"
+		case run.OOM:
+			status = "OOM"
+		case run.Degraded():
+			status = "degraded"
+		}
+		fmt.Fprintf(&sb, "%-28s %-9s total=%-14v %s\n", run.Name, status,
+			run.B.Total().Round(time.Microsecond), run.FaultStats.String())
+		if run.FailErr != "" {
+			line := run.FailErr
+			if i := strings.IndexByte(line, '\n'); i >= 0 {
+				line = line[:i]
+			}
+			fmt.Fprintf(&sb, "  cause: %s\n", line)
+		}
+	}
+	healthy, degraded, faulted, oom, panicked := r.Counts()
+	fmt.Fprintf(&sb, "healthy=%d degraded=%d faulted=%d oom=%d panicked=%d\n",
+		healthy, degraded, faulted, oom, panicked)
+	return sb.String()
+}
+
+// chaosSpecs is the chaos schedule: the Fig 7 pair (Spark PR under PS and
+// TeraHeap — major-GC heavy, so promotion buffers and writeback are
+// exercised), a streaming ML run at its reduced DRAM point (read-dominated,
+// so latency spikes and brown-outs land on the page-cache fault path), and
+// the Fig 9a hint pair for Giraph PR (mutable stores forced to H2, so
+// device read-modify-writes absorb the injected errors).
+func chaosSpecs() []Spec {
+	return []Spec{
+		SparkSpec(SparkRun{Workload: "PR", Runtime: RuntimePS, DramGB: 80}),
+		SparkSpec(SparkRun{Workload: "PR", Runtime: RuntimeTH, DramGB: 80}),
+		SparkSpec(SparkRun{Workload: "LR", Runtime: RuntimeTH, DramGB: 43}),
+		GiraphSpec(GiraphRun{Workload: "PR", Mode: giraph.ModeTH, DramGB: 74,
+			THConfig: func(c *core.Config) {
+				c.EnableMoveHint = false
+				c.LowThreshold = 0
+			}}),
+		GiraphSpec(GiraphRun{Workload: "PR", Mode: giraph.ModeTH, DramGB: 74,
+			THConfig: func(c *core.Config) { c.LowThreshold = 0 }}),
+	}
+}
+
+// RunChaos executes the chaos schedule under the given fault plan with the
+// full-heap invariant verifier enabled for every run, restoring the
+// previous verify/fault globals on return. A nil plan runs the schedule
+// fault-free (the baseline the determinism CI job compares against).
+func RunChaos(plan *fault.Plan) ChaosResult {
+	prevVerify := SetVerify(true)
+	prevPlan := SetFaultPlan(plan)
+	defer func() {
+		SetVerify(prevVerify)
+		SetFaultPlan(prevPlan)
+	}()
+	return ChaosResult{Plan: plan, Runs: RunAll(chaosSpecs())}
+}

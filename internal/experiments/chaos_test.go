@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/carv-repro/teraheap-go/internal/fault"
+)
+
+// chaosTestPlan is an aggressive-but-survivable schedule: transient errors
+// well under the retry budget, plus every degradation mode at a visible
+// rate.
+func chaosTestPlan(t *testing.T) *fault.Plan {
+	t.Helper()
+	p, err := fault.ParsePlan("seed=1,dev-err=0.02,spike=0.01,brownout=4000:200,wb-fail=0.05,torn=0.05,h2-exhaust=0.02")
+	if err != nil {
+		t.Fatalf("ParsePlan: %v", err)
+	}
+	return p
+}
+
+// TestChaosSurvivesFaultSchedule is the harness's core claim: under an
+// aggressive fault plan with the verifier on, every run ends in a typed
+// outcome — degraded, faulted, or OOM — and none panics.
+func TestChaosSurvivesFaultSchedule(t *testing.T) {
+	res := RunChaos(chaosTestPlan(t))
+	if res.Panicked() {
+		t.Fatalf("chaos run panicked:\n%s", res.Format())
+	}
+	if len(res.Runs) != len(chaosSpecs()) {
+		t.Fatalf("got %d runs, want %d", len(res.Runs), len(chaosSpecs()))
+	}
+	healthy, degraded, faulted, oom, panicked := res.Counts()
+	if healthy+degraded+faulted+oom+panicked != len(res.Runs) {
+		t.Fatalf("outcome buckets don't partition the runs: %d+%d+%d+%d+%d != %d",
+			healthy, degraded, faulted, oom, panicked, len(res.Runs))
+	}
+	// The plan injects at visible rates into I/O-heavy runs: at least one
+	// run must have absorbed faults (degraded or worse) or the plane is
+	// not actually wired in.
+	anyInjected := false
+	for _, run := range res.Runs {
+		if run.FaultStats.Any() {
+			anyInjected = true
+		}
+	}
+	if !anyInjected {
+		t.Fatalf("no run recorded injected faults:\n%s", res.Format())
+	}
+	if !strings.Contains(res.Format(), "verifier on") {
+		t.Fatalf("report missing verifier marker:\n%s", res.Format())
+	}
+}
+
+// TestChaosSameSeedIsDeterministic runs the schedule twice under the same
+// plan and requires byte-identical reports.
+func TestChaosSameSeedIsDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two full chaos schedules in -short mode")
+	}
+	plan := chaosTestPlan(t)
+	a := RunChaos(plan).Format()
+	b := RunChaos(plan).Format()
+	if a != b {
+		t.Fatalf("same-seed chaos reports differ:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+}
+
+// TestChaosGlobalsRestored checks RunChaos leaves the verify/fault toggles
+// the way it found them.
+func TestChaosGlobalsRestored(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full chaos schedule in -short mode")
+	}
+	prevVerify := SetVerify(false)
+	defer SetVerify(prevVerify)
+	prevPlan := SetFaultPlan(nil)
+	defer SetFaultPlan(prevPlan)
+	RunChaos(chaosTestPlan(t))
+	if SetVerify(false) {
+		t.Error("verify toggle left enabled after RunChaos")
+	}
+	if FaultPlan() != nil {
+		t.Error("fault plan left installed after RunChaos")
+	}
+}

@@ -11,10 +11,12 @@ package experiments
 import (
 	"errors"
 	"fmt"
+	"strings"
 	"time"
 
 	"github.com/carv-repro/teraheap-go/internal/baselines/g1"
 	"github.com/carv-repro/teraheap-go/internal/core"
+	"github.com/carv-repro/teraheap-go/internal/fault"
 	"github.com/carv-repro/teraheap-go/internal/gc"
 	"github.com/carv-repro/teraheap-go/internal/graphx"
 	"github.com/carv-repro/teraheap-go/internal/metrics"
@@ -75,6 +77,16 @@ type RunResult struct {
 	B    simclock.Breakdown
 	OOM  bool
 
+	// Faulted marks a run ended by a latched persistent storage fault;
+	// Failed marks a run whose goroutine panicked (recovered by the
+	// executor); FailErr carries the cause for either. FaultStats counts
+	// the faults injected by the active plan, whether or not the run
+	// survived them.
+	Faulted    bool
+	Failed     bool
+	FailErr    string
+	FaultStats fault.Stats
+
 	GCStats  gc.Stats
 	THStats  *core.Stats
 	DevStats storage.Stats
@@ -91,9 +103,29 @@ type RunResult struct {
 	H2UsedBytes int64
 }
 
+// Degraded reports a run that absorbed injected faults and still completed:
+// the graceful-degradation regime the fault plane exists to exercise.
+func (r RunResult) Degraded() bool {
+	return r.FaultStats.Any() && !r.Faulted && !r.Failed && !r.OOM
+}
+
 // Row converts the result to a metrics row.
 func (r RunResult) Row() metrics.Row {
-	return metrics.Row{Name: r.Name, B: r.B, OOM: r.OOM}
+	return r.RowNamed(r.Name)
+}
+
+// RowNamed is Row with an overridden display name (figure formatters often
+// relabel configurations).
+func (r RunResult) RowNamed(name string) metrics.Row {
+	row := metrics.Row{Name: name, B: r.B, OOM: r.OOM, Fault: r.Faulted || r.Failed}
+	if row.Fault {
+		if i := strings.IndexByte(r.FailErr, '\n'); i >= 0 {
+			row.Note = r.FailErr[:i]
+		} else {
+			row.Note = r.FailErr
+		}
+	}
+	return row
 }
 
 // sparkSpec describes one Table 3 workload.
@@ -361,6 +393,9 @@ func RunSpark(cfg SparkRun) RunResult {
 	if vr, ok := runtime.(interface{ SetVerify(bool) }); ok {
 		applyVerify(vr)
 	}
+	inj := newRunInjector()
+	dev.SetFaultInjector(inj)
+	applyFault(runtime, inj)
 
 	ctx := spark.NewContext(spark.Conf{
 		RT:                runtime,
@@ -385,14 +420,32 @@ func RunSpark(cfg SparkRun) RunResult {
 		res.FinalLowThreshold = th.LowThresholdNow()
 		res.H2UsedBytes = th.UsedBytes()
 	}
+	res.FaultStats = inj.Stats()
 	if err != nil {
 		var oom *gc.OOMError
-		if errors.As(err, &oom) || runtime.OOM() != nil {
+		var flt *gc.FaultError
+		switch {
+		case errors.As(err, &flt):
+			res.Faulted = true
+			res.FailErr = flt.Error()
+		case errors.As(err, &oom) || runtime.OOM() != nil:
 			res.OOM = true
-		} else {
+		default:
 			panic(fmt.Sprintf("experiments: %s failed: %v", name, err))
 		}
 	}
+	// A device failure latched after the workload's last allocation (or on
+	// a runtime without collector-level polling, like the G1 baseline)
+	// still fails the run.
+	if f := inj.Failure(); f != nil && !res.Faulted {
+		res.Faulted = true
+		res.FailErr = f.Error()
+	}
+	if e := runtimeFault(runtime); e != nil && !res.Faulted {
+		res.Faulted = true
+		res.FailErr = e.Error()
+	}
+	noteOutcome(res)
 	return res
 }
 

@@ -31,6 +31,19 @@ func (s Spec) run() RunResult {
 	panic(fmt.Sprintf("experiments: empty Spec %+v", s))
 }
 
+// label names a spec for the failed-run result when its goroutine panics
+// (the run's real name is minted inside RunSpark/RunGiraph, which never
+// returned).
+func (s Spec) label(i int) string {
+	switch {
+	case s.Spark != nil:
+		return fmt.Sprintf("%s/%.0fGB", s.Spark.Workload, s.Spark.DramGB)
+	case s.Giraph != nil:
+		return fmt.Sprintf("%s/%.0fGB", s.Giraph.Workload, s.Giraph.DramGB)
+	}
+	return fmt.Sprintf("spec-%d", i)
+}
+
 // SparkSpec wraps a SparkRun as a Spec.
 func SparkSpec(r SparkRun) Spec { return Spec{Spark: &r} }
 
@@ -46,8 +59,16 @@ func RunAll(specs []Spec) []RunResult {
 
 // RunAllWorkers is RunAll with an explicit worker count (tests, the
 // benchmark suite). workers <= 0 means GOMAXPROCS.
+//
+// A run that panics does not kill the suite: the executor recovers it into
+// a failed-run result (name + error) in that run's slot, so the merged
+// output stays deterministic and the remaining runs complete.
 func RunAllWorkers(specs []Spec, workers int) []RunResult {
-	return runner.Do(len(specs), workers, func(i int) RunResult {
+	return runner.DoSafe(len(specs), workers, func(i int) RunResult {
 		return specs[i].run()
+	}, func(i int, v any) RunResult {
+		res := RunResult{Name: specs[i].label(i), Failed: true, FailErr: fmt.Sprint(v)}
+		noteOutcome(res)
+		return res
 	})
 }

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"github.com/carv-repro/teraheap-go/internal/fault"
+)
+
+// faultPlan, when set, injects faults into every subsequently constructed
+// run (the teraheap-bench -fault flag). The plan is shared immutable
+// configuration; each run builds its own fault.Injector from it, so
+// decisions depend only on that run's operation stream — worker
+// interleaving across parallel runs cannot perturb them.
+var faultPlan *fault.Plan
+
+// SetFaultPlan installs the fault plan for subsequently constructed runs
+// (nil disables injection) and returns the previous plan.
+func SetFaultPlan(p *fault.Plan) *fault.Plan {
+	prev := faultPlan
+	faultPlan = p
+	return prev
+}
+
+// FaultPlan returns the active fault plan, or nil.
+func FaultPlan() *fault.Plan { return faultPlan }
+
+// newRunInjector builds this run's injector (nil when fault-free).
+func newRunInjector() *fault.Injector { return fault.NewInjector(faultPlan) }
+
+// applyFault attaches the injector to runtimes that support it (rt.JVM in
+// all its configurations; the G1 baseline only sees device-level faults).
+func applyFault(r any, in *fault.Injector) {
+	if in == nil {
+		return
+	}
+	if fi, ok := r.(interface{ SetFaultInjector(*fault.Injector) }); ok {
+		fi.SetFaultInjector(in)
+	}
+}
+
+// runtimeFault reads the latched storage fault from runtimes that track one.
+func runtimeFault(r any) error {
+	if f, ok := r.(interface{ Fault() error }); ok {
+		return f.Fault()
+	}
+	return nil
+}

@@ -23,8 +23,8 @@ func Fig12a() string {
 	for i, w := range workloads {
 		sd, th := runs[2*i], runs[2*i+1]
 		rows := []metrics.Row{
-			{Name: w + "/SD(nvm)", B: sd.B, OOM: sd.OOM},
-			{Name: w + "/TH(nvm)", B: th.B, OOM: th.OOM},
+			sd.RowNamed(w + "/SD(nvm)"),
+			th.RowNamed(w + "/TH(nvm)"),
 		}
 		sb.WriteString(metrics.FormatBreakdown("Fig 12a "+w+" (Spark-SD vs TH, NVM)", rows, true))
 	}
@@ -47,10 +47,8 @@ func Fig12b() string {
 	for i, w := range workloads {
 		mo, th := runs[2*i], runs[2*i+1]
 		rows := []metrics.Row{
-			{Name: w + "/MO", B: mo.B, OOM: mo.OOM,
-				Note: devNote(mo.DevStats)},
-			{Name: w + "/TH", B: th.B, OOM: th.OOM,
-				Note: devNote(th.DevStats)},
+			noteRow(mo.RowNamed(w+"/MO"), devNote(mo.DevStats)),
+			noteRow(th.RowNamed(w+"/TH"), devNote(th.DevStats)),
 		}
 		sb.WriteString(metrics.FormatBreakdown("Fig 12b "+w+" (Spark-MO vs TH, NVM)", rows, true))
 	}
@@ -80,12 +78,21 @@ func Fig12c() string {
 	for i, w := range list {
 		p, th := runs[2*i], runs[2*i+1]
 		rows := []metrics.Row{
-			{Name: w + "/Panthera", B: p.B, OOM: p.OOM, Note: devNote(p.DevStats)},
-			{Name: w + "/TH", B: th.B, OOM: th.OOM, Note: devNote(th.DevStats)},
+			noteRow(p.RowNamed(w+"/Panthera"), devNote(p.DevStats)),
+			noteRow(th.RowNamed(w+"/TH"), devNote(th.DevStats)),
 		}
 		sb.WriteString(metrics.FormatBreakdown("Fig 12c "+w+" (Panthera vs TH, NVM)", rows, true))
 	}
 	return sb.String()
+}
+
+// noteRow attaches the device-traffic note to a healthy row; faulted
+// rows keep the failure note RowNamed already set.
+func noteRow(r metrics.Row, note string) metrics.Row {
+	if r.Note == "" {
+		r.Note = note
+	}
+	return r
 }
 
 func devNote(s storage.Stats) string {

@@ -38,8 +38,8 @@ func Fig9a() string {
 	for i, w := range workloads {
 		nh, h := runs[2*i], runs[2*i+1]
 		rows := []metrics.Row{
-			{Name: w + "/NH(no hint)", B: nh.B, OOM: nh.OOM},
-			{Name: w + "/H(hint)", B: h.B, OOM: h.OOM},
+			nh.RowNamed(w + "/NH(no hint)"),
+			h.RowNamed(w + "/H(hint)"),
 		}
 		sb.WriteString(metrics.FormatBreakdown("Fig 9a "+w+" (transfer hint)", rows, true))
 		sb.WriteString("\n")
@@ -79,8 +79,8 @@ func Fig9b() string {
 	for i, c := range cases {
 		nl, l := runs[2*i], runs[2*i+1]
 		rows := []metrics.Row{
-			{Name: c.w + "/NL(no low)", B: nl.B, OOM: nl.OOM},
-			{Name: c.w + "/L(low=50%)", B: l.B, OOM: l.OOM},
+			nl.RowNamed(c.w + "/NL(no low)"),
+			l.RowNamed(c.w + "/L(low=50%)"),
 		}
 		sb.WriteString(metrics.FormatBreakdown("Fig 9b "+c.w+" (low threshold, 91GB)", rows, true))
 		sb.WriteString("\n")

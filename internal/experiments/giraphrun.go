@@ -108,6 +108,9 @@ func RunGiraph(cfg GiraphRun) RunResult {
 		name = fmt.Sprintf("%s/ooc/%.0fGB", spec.name, cfg.DramGB)
 	}
 	applyVerify(jvm)
+	inj := newRunInjector()
+	dev.SetFaultInjector(inj)
+	applyFault(jvm, inj)
 
 	res := RunResult{Name: name}
 	finish := func(err error) RunResult {
@@ -121,14 +124,27 @@ func RunGiraph(cfg GiraphRun) RunResult {
 			res.FinalLowThreshold = th.LowThresholdNow()
 			res.H2UsedBytes = th.UsedBytes()
 		}
+		res.FaultStats = inj.Stats()
 		if err != nil {
 			var oom *gc.OOMError
-			if errors.As(err, &oom) || jvm.OOM() != nil {
+			var flt *gc.FaultError
+			switch {
+			case errors.As(err, &flt):
+				res.Faulted = true
+				res.FailErr = flt.Error()
+			case errors.As(err, &oom) || jvm.OOM() != nil:
 				res.OOM = true
-				return res
+			default:
+				panic(fmt.Sprintf("experiments: %s failed: %v", name, err))
 			}
-			panic(fmt.Sprintf("experiments: %s failed: %v", name, err))
+			noteOutcome(res)
+			return res
 		}
+		if f := inj.Failure(); f != nil && !res.Faulted {
+			res.Faulted = true
+			res.FailErr = f.Error()
+		}
+		noteOutcome(res)
 		return res
 	}
 

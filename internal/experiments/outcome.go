@@ -1,0 +1,22 @@
+package experiments
+
+import "sync/atomic"
+
+// badRuns counts runs in this process that ended OOM, faulted, or
+// panicked. The CLI polls it to turn degraded results into a nonzero exit
+// code while still printing the full (partial) results table.
+var badRuns atomic.Int64
+
+func noteOutcome(r RunResult) {
+	if r.OOM || r.Faulted || r.Failed {
+		badRuns.Add(1)
+	}
+}
+
+// BadRuns returns the number of runs so far that ended OOM, faulted, or
+// panicked.
+func BadRuns() int64 { return badRuns.Load() }
+
+// ResetBadRuns clears the bad-run counter and returns the old value
+// (tests; reruns within one process).
+func ResetBadRuns() int64 { return badRuns.Swap(0) }

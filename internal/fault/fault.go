@@ -1,0 +1,227 @@
+// Package fault is the deterministic fault-injection plane for the
+// TeraHeap simulator. A Plan describes which faults to inject (transient
+// device errors, latency spikes, bandwidth brown-outs, page-cache
+// writeback failures, torn promotion-buffer flushes, forced H2 region
+// exhaustion) and an Injector makes the per-operation decisions.
+//
+// Every decision is a pure function of (seed, monotonic op counter): no
+// wall clock, no shared global PRNG. Each simulated run owns exactly one
+// Injector, and a run's operations execute in a deterministic order, so
+// the same plan always yields byte-identical simulated results — the
+// property the chaos harness asserts.
+//
+// The injector never performs recovery itself; it prices it. A transient
+// device error costs the wasted attempt plus an exponential-backoff wait,
+// returned to the caller as extra virtual time to charge to the simclock's
+// ambient category, so recovery shows up in the paper's execution-time
+// breakdown exactly where the stalled phase was running. When an operation
+// keeps failing past the retry budget the injector latches a structured
+// DeviceFailure; the collector escalates that to a latched error (never a
+// panic) and the run ends as a degraded result.
+package fault
+
+import (
+	"fmt"
+	"time"
+)
+
+// DeviceFailure is the latched persistent-failure record: an operation
+// exhausted its transient-retry budget. It is an error so it can be
+// wrapped directly into the collector's latched fault.
+type DeviceFailure struct {
+	Op       string // "read" or "write"
+	OpIndex  int64  // monotonic decision index of the failing operation
+	Attempts int    // attempts made (1 initial + retries)
+}
+
+// Error describes the failure.
+func (e *DeviceFailure) Error() string {
+	return fmt.Sprintf("fault: persistent device %s failure at op %d after %d attempts",
+		e.Op, e.OpIndex, e.Attempts)
+}
+
+// Stats counts injected faults and the recovery work they caused.
+type Stats struct {
+	Decisions       int64 // PRNG decisions consumed
+	TransientErrors int64 // injected device op errors (incl. the persistent one)
+	Retries         int64 // retry attempts performed
+	BackoffTime     time.Duration
+	LatencySpikes   int64
+	BrownedOutOps   int64
+	WritebackFails  int64
+	TornFlushes     int64
+	H2Exhaustions   int64
+}
+
+// Any reports whether any fault was injected.
+func (s Stats) Any() bool {
+	return s.TransientErrors > 0 || s.LatencySpikes > 0 || s.BrownedOutOps > 0 ||
+		s.WritebackFails > 0 || s.TornFlushes > 0 || s.H2Exhaustions > 0
+}
+
+// String summarizes the injected faults in one compact line.
+func (s Stats) String() string {
+	return fmt.Sprintf("errs=%d retries=%d backoff=%v spikes=%d brownout=%d wbfail=%d torn=%d h2ex=%d",
+		s.TransientErrors, s.Retries, s.BackoffTime, s.LatencySpikes,
+		s.BrownedOutOps, s.WritebackFails, s.TornFlushes, s.H2Exhaustions)
+}
+
+// Injector makes the fault decisions for one simulated run. It is NOT safe
+// for concurrent use: a run is single-threaded by construction (simulated
+// parallelism divides charges, it does not spawn goroutines), which is what
+// keeps the op counter — and therefore every decision — deterministic.
+type Injector struct {
+	plan  Plan
+	ops   int64 // monotonic decision counter
+	stats Stats
+
+	failure *DeviceFailure
+}
+
+// NewInjector builds an injector for one run of the plan. A nil plan
+// yields a nil injector, which every hook treats as "no faults".
+func NewInjector(p *Plan) *Injector {
+	if p == nil {
+		return nil
+	}
+	pl := *p
+	pl.applyDefaults()
+	return &Injector{plan: pl}
+}
+
+// Stats returns a snapshot of the injected-fault counters. Nil-safe.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	return in.stats
+}
+
+// Failure returns the latched persistent device failure, if any. Nil-safe.
+func (in *Injector) Failure() *DeviceFailure {
+	if in == nil {
+		return nil
+	}
+	return in.failure
+}
+
+// splitmix64 is the finalizer of the SplitMix64 generator: a bijective
+// avalanche hash, so consecutive counter values produce independent-looking
+// decisions from a single seed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// roll consumes one decision and returns a uniform float64 in [0,1).
+func (in *Injector) roll() float64 {
+	in.ops++
+	in.stats.Decisions++
+	h := splitmix64(in.plan.Seed ^ uint64(in.ops)*0x9e3779b97f4a7c15)
+	return float64(h>>11) / (1 << 53)
+}
+
+// DeviceOp prices the fault consequences of one device operation whose
+// healthy cost is base: brown-out and latency-spike degradation, then a
+// transient-error/retry loop with exponential backoff. The returned
+// duration replaces base — the caller charges it to the clock's ambient
+// category, so recovery cost lands in whatever breakdown bucket the
+// stalled phase was billing. If the retry budget is exhausted the injector
+// latches a DeviceFailure and returns the cost spent up to that point.
+// Nil-safe: a nil injector returns base unchanged.
+func (in *Injector) DeviceOp(write bool, base time.Duration) time.Duration {
+	if in == nil {
+		return base
+	}
+	op := "read"
+	if write {
+		op = "write"
+	}
+	cost := base
+	// Bandwidth brown-out: operations inside the window pay a degraded
+	// (multiplied) cost, modeling a device whose effective bandwidth has
+	// collapsed for a stretch of operations.
+	if in.plan.BrownoutEvery > 0 {
+		in.ops++
+		in.stats.Decisions++
+		if in.ops%in.plan.BrownoutEvery < in.plan.BrownoutLen {
+			cost = time.Duration(float64(cost) * in.plan.BrownoutFactor)
+			in.stats.BrownedOutOps++
+		}
+	}
+	// Latency spike: tail-latency event on this operation alone.
+	if in.plan.SpikeRate > 0 && in.roll() < in.plan.SpikeRate {
+		cost = time.Duration(float64(cost) * in.plan.SpikeFactor)
+		in.stats.LatencySpikes++
+	}
+	if in.plan.DevErrRate <= 0 || in.failure != nil {
+		// No error injection (or the device already failed for good: the
+		// collector will latch shortly; stop injecting so the remaining
+		// simulated work stays bounded).
+		return cost
+	}
+	// Transient-error/retry loop: each failed attempt wastes the full
+	// operation cost, then waits an exponentially growing backoff before
+	// retrying. A fresh decision is consumed per attempt, so two retries
+	// of the same logical operation can succeed or fail independently.
+	total := cost
+	for attempt := 0; in.roll() < in.plan.DevErrRate; attempt++ {
+		in.stats.TransientErrors++
+		if attempt >= in.plan.MaxRetries {
+			in.failure = &DeviceFailure{Op: op, OpIndex: in.ops, Attempts: attempt + 1}
+			return total
+		}
+		backoff := in.plan.BackoffBase << attempt
+		in.stats.Retries++
+		in.stats.BackoffTime += backoff
+		total += backoff + cost // wait, then pay the retried attempt
+	}
+	return total
+}
+
+// WritebackFailed reports whether this page-cache writeback fails; the
+// cache recovers by charging one retried device write. Nil-safe.
+func (in *Injector) WritebackFailed() bool {
+	if in == nil || in.plan.WritebackFailRate <= 0 {
+		return false
+	}
+	if in.roll() < in.plan.WritebackFailRate {
+		in.stats.WritebackFails++
+		return true
+	}
+	return false
+}
+
+// TornFlush reports whether this promotion-buffer flush tears mid-write;
+// the H2 allocator recovers by replaying the whole buffered batch (the
+// staged images are still in DRAM), charging the flush a second time.
+// Nil-safe.
+func (in *Injector) TornFlush() bool {
+	if in == nil || in.plan.TornFlushRate <= 0 {
+		return false
+	}
+	if in.roll() < in.plan.TornFlushRate {
+		in.stats.TornFlushes++
+		return true
+	}
+	return false
+}
+
+// H2Exhausted reports whether this PrepareMove is forced to fail as if H2
+// had no region to give (the paper's graceful-degradation path: the object
+// simply stays in H1 and the collector keeps going). Nil-safe.
+func (in *Injector) H2Exhausted() bool {
+	if in == nil || in.plan.H2ExhaustRate <= 0 {
+		return false
+	}
+	if in.roll() < in.plan.H2ExhaustRate {
+		in.stats.H2Exhaustions++
+		return true
+	}
+	return false
+}

@@ -1,0 +1,216 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// drive runs a fixed decision workload against a fresh injector and
+// returns a compact trace of every outcome.
+func drive(p *Plan) (string, Stats, *DeviceFailure) {
+	in := NewInjector(p)
+	var sb strings.Builder
+	for i := 0; i < 500; i++ {
+		switch i % 4 {
+		case 0:
+			d := in.DeviceOp(false, 100*time.Microsecond)
+			sb.WriteString(d.String())
+		case 1:
+			d := in.DeviceOp(true, 250*time.Microsecond)
+			sb.WriteString(d.String())
+		case 2:
+			if in.WritebackFailed() {
+				sb.WriteString("WB")
+			}
+			if in.TornFlush() {
+				sb.WriteString("TF")
+			}
+		case 3:
+			if in.H2Exhausted() {
+				sb.WriteString("H2")
+			}
+		}
+		sb.WriteByte(';')
+	}
+	return sb.String(), in.Stats(), in.Failure()
+}
+
+func TestSameSeedIsDeterministic(t *testing.T) {
+	p := &Plan{Seed: 42, DevErrRate: 0.1, SpikeRate: 0.05,
+		BrownoutEvery: 64, BrownoutLen: 8, WritebackFailRate: 0.1,
+		TornFlushRate: 0.1, H2ExhaustRate: 0.1}
+	t1, s1, _ := drive(p)
+	t2, s2, _ := drive(p)
+	if t1 != t2 {
+		t.Fatal("same seed produced different decision traces")
+	}
+	if s1 != s2 {
+		t.Fatalf("same seed produced different stats: %v vs %v", s1, s2)
+	}
+	if !s1.Any() {
+		t.Fatal("expected some faults to be injected at these rates")
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	p1 := &Plan{Seed: 1, DevErrRate: 0.2, SpikeRate: 0.2}
+	p2 := &Plan{Seed: 2, DevErrRate: 0.2, SpikeRate: 0.2}
+	t1, _, _ := drive(p1)
+	t2, _, _ := drive(p2)
+	if t1 == t2 {
+		t.Fatal("different seeds produced identical decision traces")
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in != NewInjector(nil) {
+		t.Fatal("NewInjector(nil) should be nil")
+	}
+	if got := in.DeviceOp(false, 123*time.Microsecond); got != 123*time.Microsecond {
+		t.Fatalf("nil injector changed device cost: %v", got)
+	}
+	if in.WritebackFailed() || in.TornFlush() || in.H2Exhausted() {
+		t.Fatal("nil injector injected a fault")
+	}
+	if in.Failure() != nil || in.Stats().Any() {
+		t.Fatal("nil injector reported activity")
+	}
+}
+
+func TestZeroPlanIsInert(t *testing.T) {
+	trace, stats, fail := drive(&Plan{Seed: 7})
+	if stats.Any() || fail != nil {
+		t.Fatalf("zero-rate plan injected faults: %v", stats)
+	}
+	// All device costs must be unmodified.
+	if strings.Contains(trace, "ms") {
+		t.Fatalf("zero-rate plan inflated a device cost: %q", trace[:80])
+	}
+}
+
+func TestTransientErrorChargesBackoff(t *testing.T) {
+	// Rate 1 within the retry budget: every attempt fails, so the failure
+	// latches after MaxRetries retries, having charged the full backoff
+	// ladder.
+	p := &Plan{Seed: 3, DevErrRate: 1, MaxRetries: 3, BackoffBase: 10 * time.Microsecond}
+	in := NewInjector(p)
+	base := 100 * time.Microsecond
+	got := in.DeviceOp(true, base)
+	// attempt0 fails -> backoff 10 + retry 100; attempt1 -> 20+100;
+	// attempt2 -> 40+100; attempt3 fails and latches.
+	want := base + (10+100)*time.Microsecond + (20+100)*time.Microsecond + (40+100)*time.Microsecond
+	if got != want {
+		t.Fatalf("DeviceOp cost = %v, want %v", got, want)
+	}
+	f := in.Failure()
+	if f == nil {
+		t.Fatal("expected a latched persistent failure")
+	}
+	if f.Op != "write" || f.Attempts != 4 {
+		t.Fatalf("failure = %+v, want write after 4 attempts", f)
+	}
+	if !strings.Contains(f.Error(), "persistent device write failure") {
+		t.Fatalf("unexpected error text: %v", f)
+	}
+	st := in.Stats()
+	if st.Retries != 3 || st.TransientErrors != 4 {
+		t.Fatalf("stats = %+v, want 3 retries / 4 transient errors", st)
+	}
+	if st.BackoffTime != 70*time.Microsecond {
+		t.Fatalf("backoff time = %v, want 70µs", st.BackoffTime)
+	}
+	// After the latch, injection stops: costs pass through unmodified.
+	if got := in.DeviceOp(false, base); got != base {
+		t.Fatalf("post-failure DeviceOp = %v, want %v", got, base)
+	}
+}
+
+func TestBrownoutWindow(t *testing.T) {
+	p := &Plan{Seed: 9, BrownoutEvery: 10, BrownoutLen: 3, BrownoutFactor: 4}
+	in := NewInjector(p)
+	base := 100 * time.Microsecond
+	degraded := 0
+	for i := 0; i < 100; i++ {
+		if in.DeviceOp(false, base) == 4*base {
+			degraded++
+		}
+	}
+	// Of every 10 decisions, 3 land in the window.
+	if degraded != 30 {
+		t.Fatalf("degraded ops = %d, want 30", degraded)
+	}
+	if st := in.Stats(); st.BrownedOutOps != 30 {
+		t.Fatalf("stats.BrownedOutOps = %d, want 30", st.BrownedOutOps)
+	}
+}
+
+func TestSpikeMultipliesCost(t *testing.T) {
+	p := &Plan{Seed: 11, SpikeRate: 1, SpikeFactor: 8}
+	in := NewInjector(p)
+	if got := in.DeviceOp(false, 10*time.Microsecond); got != 80*time.Microsecond {
+		t.Fatalf("spiked cost = %v, want 80µs", got)
+	}
+	if in.Stats().LatencySpikes != 1 {
+		t.Fatal("spike not counted")
+	}
+}
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	src := "seed=7,dev-err=0.01,max-retries=5,backoff=25us,spike=0.02x16,brownout=1000:50x6,wb-fail=0.03,torn=0.04,h2-exhaust=0.05"
+	p, err := ParsePlan(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plan{Seed: 7, DevErrRate: 0.01, MaxRetries: 5,
+		BackoffBase: 25 * time.Microsecond, SpikeRate: 0.02, SpikeFactor: 16,
+		BrownoutEvery: 1000, BrownoutLen: 50, BrownoutFactor: 6,
+		WritebackFailRate: 0.03, TornFlushRate: 0.04, H2ExhaustRate: 0.05}
+	if *p != want {
+		t.Fatalf("ParsePlan = %+v, want %+v", *p, want)
+	}
+	p2, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("round-trip parse of %q: %v", p.String(), err)
+	}
+	if *p2 != *p {
+		t.Fatalf("round trip changed plan: %+v vs %+v", *p2, *p)
+	}
+}
+
+func TestParsePlanDefaults(t *testing.T) {
+	p, err := ParsePlan("dev-err=0.5,spike=0.1,brownout=100:10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 1 {
+		t.Fatalf("default seed = %d, want 1", p.Seed)
+	}
+	if p.MaxRetries != 4 || p.BackoffBase != 50*time.Microsecond {
+		t.Fatalf("retry defaults = %d/%v", p.MaxRetries, p.BackoffBase)
+	}
+	if p.SpikeFactor != 8 || p.BrownoutFactor != 4 {
+		t.Fatalf("factor defaults = %g/%g", p.SpikeFactor, p.BrownoutFactor)
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	for _, bad := range []string{
+		"nonsense",
+		"unknown-key=1",
+		"dev-err=1.5",
+		"dev-err=-0.1",
+		"spike=0.1x0.5",
+		"brownout=100",
+		"brownout=10:20",
+		"brownout=0:0",
+		"max-retries=0",
+		"backoff=-1ms",
+		"seed=abc",
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted invalid input", bad)
+		}
+	}
+}

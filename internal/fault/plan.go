@@ -1,0 +1,228 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Plan describes one deterministic fault schedule. The zero value injects
+// nothing; rates are probabilities in [0,1] evaluated per operation against
+// the seeded counter-keyed PRNG.
+type Plan struct {
+	// Seed keys every decision. Two runs with equal plans (same seed, same
+	// rates) make identical decisions at identical operation indices.
+	Seed uint64
+
+	// DevErrRate is the probability that a device read/write suffers a
+	// transient EIO-style error; MaxRetries bounds recovery attempts before
+	// the failure latches as persistent, and BackoffBase is the first
+	// retry's wait (doubling per attempt).
+	DevErrRate  float64
+	MaxRetries  int
+	BackoffBase time.Duration
+
+	// SpikeRate/SpikeFactor inject tail-latency events: an affected
+	// operation costs SpikeFactor times its healthy cost.
+	SpikeRate   float64
+	SpikeFactor float64
+
+	// BrownoutEvery/BrownoutLen/BrownoutFactor carve periodic bandwidth
+	// brown-out windows: of every BrownoutEvery device-op decisions, the
+	// first BrownoutLen pay BrownoutFactor times their healthy cost.
+	BrownoutEvery  int64
+	BrownoutLen    int64
+	BrownoutFactor float64
+
+	// WritebackFailRate fails page-cache dirty-page writebacks (recovered
+	// by one retried device write).
+	WritebackFailRate float64
+
+	// TornFlushRate tears promotion-buffer flushes mid-write (recovered by
+	// replaying the batch, doubling the flush's device cost).
+	TornFlushRate float64
+
+	// H2ExhaustRate forces PrepareMove failures, exercising the paper's
+	// keep-it-in-H1 degradation path.
+	H2ExhaustRate float64
+}
+
+// applyDefaults fills the recovery knobs that must be positive.
+func (p *Plan) applyDefaults() {
+	if p.MaxRetries <= 0 {
+		p.MaxRetries = 4
+	}
+	if p.BackoffBase <= 0 {
+		p.BackoffBase = 50 * time.Microsecond
+	}
+	if p.SpikeFactor <= 0 {
+		p.SpikeFactor = 8
+	}
+	if p.BrownoutFactor <= 0 {
+		p.BrownoutFactor = 4
+	}
+	if p.BrownoutEvery > 0 && p.BrownoutLen <= 0 {
+		p.BrownoutLen = p.BrownoutEvery / 10
+		if p.BrownoutLen < 1 {
+			p.BrownoutLen = 1
+		}
+	}
+}
+
+// String renders the plan in the DSL accepted by ParsePlan.
+func (p *Plan) String() string {
+	var parts []string
+	parts = append(parts, fmt.Sprintf("seed=%d", p.Seed))
+	if p.DevErrRate > 0 {
+		parts = append(parts, fmt.Sprintf("dev-err=%g", p.DevErrRate))
+	}
+	if p.MaxRetries > 0 {
+		parts = append(parts, fmt.Sprintf("max-retries=%d", p.MaxRetries))
+	}
+	if p.BackoffBase > 0 {
+		parts = append(parts, fmt.Sprintf("backoff=%s", p.BackoffBase))
+	}
+	if p.SpikeRate > 0 {
+		parts = append(parts, fmt.Sprintf("spike=%gx%g", p.SpikeRate, p.SpikeFactor))
+	}
+	if p.BrownoutEvery > 0 {
+		parts = append(parts, fmt.Sprintf("brownout=%d:%dx%g", p.BrownoutEvery, p.BrownoutLen, p.BrownoutFactor))
+	}
+	if p.WritebackFailRate > 0 {
+		parts = append(parts, fmt.Sprintf("wb-fail=%g", p.WritebackFailRate))
+	}
+	if p.TornFlushRate > 0 {
+		parts = append(parts, fmt.Sprintf("torn=%g", p.TornFlushRate))
+	}
+	if p.H2ExhaustRate > 0 {
+		parts = append(parts, fmt.Sprintf("h2-exhaust=%g", p.H2ExhaustRate))
+	}
+	return strings.Join(parts, ",")
+}
+
+// ParsePlan parses the comma-separated key=value fault-plan DSL used by
+// teraheap-bench's -fault flag:
+//
+//	seed=N             PRNG seed (default 1)
+//	dev-err=P          transient device error probability per op
+//	max-retries=N      retries before a failure latches (default 4)
+//	backoff=DUR        base retry backoff, doubling per attempt (default 50us)
+//	spike=P[xF]        latency spike probability P with cost factor F (default x8)
+//	brownout=E:L[xF]   every E ops, L ops cost F times as much (default x4)
+//	wb-fail=P          page-cache writeback failure probability
+//	torn=P             torn promotion-buffer flush probability
+//	h2-exhaust=P       forced PrepareMove (H2 exhaustion) probability
+//
+// Unknown keys, malformed values, and out-of-range probabilities are
+// errors: a chaos schedule that silently ignores a typo would "pass" while
+// testing nothing.
+func ParsePlan(s string) (*Plan, error) {
+	p := &Plan{Seed: 1}
+	for _, kv := range strings.Split(s, ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return nil, fmt.Errorf("fault: %q is not key=value", kv)
+		}
+		var err error
+		switch key {
+		case "seed":
+			p.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "dev-err":
+			p.DevErrRate, err = parseRate(key, val)
+		case "max-retries":
+			p.MaxRetries, err = strconv.Atoi(val)
+			if err == nil && p.MaxRetries < 1 {
+				err = fmt.Errorf("fault: max-retries must be >= 1")
+			}
+		case "backoff":
+			p.BackoffBase, err = time.ParseDuration(val)
+			if err == nil && p.BackoffBase <= 0 {
+				err = fmt.Errorf("fault: backoff must be positive")
+			}
+		case "spike":
+			p.SpikeRate, p.SpikeFactor, err = parseRateFactor(key, val)
+		case "brownout":
+			err = parseBrownout(val, p)
+		case "wb-fail":
+			p.WritebackFailRate, err = parseRate(key, val)
+		case "torn":
+			p.TornFlushRate, err = parseRate(key, val)
+		case "h2-exhaust":
+			p.H2ExhaustRate, err = parseRate(key, val)
+		default:
+			return nil, fmt.Errorf("fault: unknown plan key %q (valid: seed, dev-err, max-retries, backoff, spike, brownout, wb-fail, torn, h2-exhaust)", key)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("fault: bad %s=%s: %w", key, val, err)
+		}
+	}
+	p.applyDefaults()
+	return p, nil
+}
+
+func parseRate(key, val string) (float64, error) {
+	r, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if r < 0 || r > 1 {
+		return 0, fmt.Errorf("%s must be a probability in [0,1]", key)
+	}
+	return r, nil
+}
+
+// parseRateFactor parses "P" or "PxF".
+func parseRateFactor(key, val string) (rate, factor float64, err error) {
+	rs, fs, hasFactor := strings.Cut(val, "x")
+	rate, err = parseRate(key, rs)
+	if err != nil {
+		return 0, 0, err
+	}
+	if hasFactor {
+		factor, err = strconv.ParseFloat(fs, 64)
+		if err != nil {
+			return 0, 0, err
+		}
+		if factor <= 1 {
+			return 0, 0, fmt.Errorf("%s factor must be > 1", key)
+		}
+	}
+	return rate, factor, nil
+}
+
+// parseBrownout parses "E:L" or "E:LxF".
+func parseBrownout(val string, p *Plan) error {
+	es, rest, ok := strings.Cut(val, ":")
+	if !ok {
+		return fmt.Errorf("want EVERY:LEN[xFACTOR]")
+	}
+	ls, fs, hasFactor := strings.Cut(rest, "x")
+	every, err := strconv.ParseInt(es, 10, 64)
+	if err != nil {
+		return err
+	}
+	length, err := strconv.ParseInt(ls, 10, 64)
+	if err != nil {
+		return err
+	}
+	if every <= 0 || length <= 0 || length > every {
+		return fmt.Errorf("want 0 < LEN <= EVERY")
+	}
+	p.BrownoutEvery, p.BrownoutLen = every, length
+	if hasFactor {
+		f, err := strconv.ParseFloat(fs, 64)
+		if err != nil {
+			return err
+		}
+		if f <= 1 {
+			return fmt.Errorf("brownout factor must be > 1")
+		}
+		p.BrownoutFactor = f
+	}
+	return nil
+}

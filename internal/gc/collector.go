@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"github.com/carv-repro/teraheap-go/internal/check"
+	"github.com/carv-repro/teraheap-go/internal/fault"
 	"github.com/carv-repro/teraheap-go/internal/heap"
 	"github.com/carv-repro/teraheap-go/internal/simclock"
 	"github.com/carv-repro/teraheap-go/internal/vm"
@@ -71,6 +72,34 @@ func (e *OOMError) Error() string {
 	return fmt.Sprintf("gc: out of memory (%s, requested %d bytes)", e.Where, e.Requested)
 }
 
+// FaultError reports that the storage backing the heap failed persistently
+// (a device operation exhausted its retry budget). Like OOMError it latches
+// on the collector: the run ends as a structured failure, never a panic.
+type FaultError struct {
+	Cause *fault.DeviceFailure
+}
+
+// Error describes the failure.
+func (e *FaultError) Error() string {
+	return "gc: storage fault: " + e.Cause.Error()
+}
+
+// Unwrap exposes the underlying device failure to errors.As.
+func (e *FaultError) Unwrap() error { return e.Cause }
+
+// ClassKindError reports an allocation call that does not match the
+// class's layout kind (e.g. Alloc of an array class) — an API-misuse
+// error returned to the caller rather than a process-killing panic.
+type ClassKindError struct {
+	Call  string
+	Class string
+}
+
+// Error describes the mismatch.
+func (e *ClassKindError) Error() string {
+	return fmt.Sprintf("gc: %s of incompatible class %q", e.Call, e.Class)
+}
+
 // Collector is the Parallel Scavenge collector over H1 with optional
 // TeraHeap (H2) extensions.
 type Collector struct {
@@ -90,6 +119,11 @@ type Collector struct {
 
 	// oom latches after an OOMError so subsequent allocations fail fast.
 	oom *OOMError
+
+	// inj is the run's fault injector (nil when fault-free); flt latches
+	// once the injector reports a persistent device failure, mirroring oom.
+	inj *fault.Injector
+	flt *FaultError
 
 	// scavWorklist and scavH2Moves are the scavenger's per-cycle buffers,
 	// kept on the collector so repeated minor GCs reuse their backing
@@ -139,6 +173,27 @@ func NewWithHeap(h1 *heap.H1, costs CostParams, as *vm.AddressSpace, classes *vm
 // SetVerify enables or disables invariant verification around every GC.
 func (c *Collector) SetVerify(v bool) { c.verify = v }
 
+// SetFaultInjector attaches the run's fault injector so persistent device
+// failures latch on the collector at the next allocation or GC boundary.
+func (c *Collector) SetFaultInjector(in *fault.Injector) { c.inj = in }
+
+// Fault returns the latched persistent storage fault, if any.
+func (c *Collector) Fault() *FaultError { return c.flt }
+
+// pollFault latches (and returns) a FaultError once the injector reports a
+// persistent device failure. Checked at allocation and GC boundaries so a
+// device that died mid-phase surfaces as a structured error on the next
+// safepoint rather than a panic inside the phase.
+func (c *Collector) pollFault() *FaultError {
+	if c.flt != nil {
+		return c.flt
+	}
+	if f := c.inj.Failure(); f != nil {
+		c.flt = &FaultError{Cause: f}
+	}
+	return c.flt
+}
+
 // VerifyNow runs the full invariant verifier immediately and returns the
 // violations found (empty when the heap is consistent). It never charges
 // simulated time.
@@ -172,6 +227,9 @@ func (c *Collector) AllocPretenured(class *vm.Class, numRefs, sizeWords int) (vm
 	if c.oom != nil {
 		return vm.NullAddr, c.oom
 	}
+	if flt := c.pollFault(); flt != nil {
+		return vm.NullAddr, flt
+	}
 	a, ok := c.allocOld(sizeWords)
 	if !ok {
 		if err := c.MajorGC(); err != nil {
@@ -204,7 +262,7 @@ func (c *Collector) Release(h *vm.Handle) { c.Roots.Release(h) }
 // Alloc allocates a fixed-layout instance of class.
 func (c *Collector) Alloc(class *vm.Class) (vm.Addr, error) {
 	if class.Kind != vm.KindFixed {
-		panic(fmt.Sprintf("gc: Alloc of non-fixed class %q", class.Name))
+		return vm.NullAddr, &ClassKindError{Call: "Alloc", Class: class.Name}
 	}
 	return c.allocObject(class, class.NumRefs, class.InstanceWords())
 }
@@ -212,7 +270,7 @@ func (c *Collector) Alloc(class *vm.Class) (vm.Addr, error) {
 // AllocRefArray allocates a reference array of n elements.
 func (c *Collector) AllocRefArray(class *vm.Class, n int) (vm.Addr, error) {
 	if class.Kind != vm.KindRefArray {
-		panic(fmt.Sprintf("gc: AllocRefArray of class %q", class.Name))
+		return vm.NullAddr, &ClassKindError{Call: "AllocRefArray", Class: class.Name}
 	}
 	return c.allocObject(class, n, vm.HeaderWords+n)
 }
@@ -220,7 +278,7 @@ func (c *Collector) AllocRefArray(class *vm.Class, n int) (vm.Addr, error) {
 // AllocPrimArray allocates a primitive array of n words.
 func (c *Collector) AllocPrimArray(class *vm.Class, n int) (vm.Addr, error) {
 	if class.Kind != vm.KindPrimArray {
-		panic(fmt.Sprintf("gc: AllocPrimArray of class %q", class.Name))
+		return vm.NullAddr, &ClassKindError{Call: "AllocPrimArray", Class: class.Name}
 	}
 	return c.allocObject(class, 0, vm.HeaderWords+n)
 }
@@ -228,6 +286,9 @@ func (c *Collector) AllocPrimArray(class *vm.Class, n int) (vm.Addr, error) {
 func (c *Collector) allocObject(class *vm.Class, numRefs, sizeWords int) (vm.Addr, error) {
 	if c.oom != nil {
 		return vm.NullAddr, c.oom
+	}
+	if flt := c.pollFault(); flt != nil {
+		return vm.NullAddr, flt
 	}
 	a, err := c.allocWords(sizeWords)
 	if err != nil {

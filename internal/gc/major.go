@@ -15,6 +15,9 @@ func (c *Collector) MajorGC() error {
 	if c.oom != nil {
 		return c.oom
 	}
+	if flt := c.pollFault(); flt != nil {
+		return flt
+	}
 	if c.verify {
 		c.runVerify("before major GC")
 	}
@@ -63,6 +66,12 @@ func (c *Collector) MajorGC() error {
 	c.stats.record(cy)
 	if c.verify {
 		c.runVerify("after major GC")
+	}
+	// A device that died during the cycle surfaces here: the heap is
+	// consistent (the phase completed against the simulated mapping), but
+	// the run must end as a structured failure.
+	if flt := c.pollFault(); flt != nil {
+		return flt
 	}
 	return nil
 }

@@ -1,7 +1,6 @@
 package gc
 
 import (
-	"fmt"
 	"time"
 
 	"github.com/carv-repro/teraheap-go/internal/heap"
@@ -44,16 +43,39 @@ type scavenger struct {
 	cardObjects   int64
 }
 
+// scavengeAbort carries a latched allocation failure out of the scavenge
+// via panic/recover: the only non-local exit from the depth-first copy.
+type scavengeAbort struct{ err *OOMError }
+
 // MinorGC runs one scavenge of the young generation.
-func (c *Collector) MinorGC() error {
+func (c *Collector) MinorGC() (err error) {
 	if c.oom != nil {
 		return c.oom
+	}
+	if flt := c.pollFault(); flt != nil {
+		return flt
 	}
 	if c.verify {
 		c.runVerify("before minor GC")
 	}
 	prevCat := c.Clock.SetContext(simclock.MinorGC)
 	defer c.Clock.SetContext(prevCat)
+	defer func() {
+		// A promotion failure mid-scavenge (possible only when MinorGC is
+		// invoked directly, bypassing ensureMinorHeadroom's guarantee)
+		// latches as OOM and fails the run instead of killing the process.
+		// The heap is wedged — partially evacuated — but every subsequent
+		// allocation and GC fails fast on the latched error, so the
+		// inconsistent state is never touched again.
+		if r := recover(); r != nil {
+			sa, ok := r.(scavengeAbort)
+			if !ok {
+				panic(r)
+			}
+			c.oom = sa.err
+			err = sa.err
+		}
+	}()
 	before := c.Clock.Breakdown()
 
 	s := &scavenger{c: c, worklist: c.scavWorklist[:0], h2moves: c.scavH2Moves[:0],
@@ -115,6 +137,9 @@ func (c *Collector) MinorGC() error {
 	if c.verify {
 		c.runVerify("after minor GC")
 	}
+	if flt := c.pollFault(); flt != nil {
+		return flt
+	}
 	return nil
 }
 
@@ -155,8 +180,10 @@ func (s *scavenger) copyYoung(a vm.Addr) vm.Addr {
 		promoted = ok
 	}
 	if !ok {
-		// ensureMinorHeadroom guarantees this cannot happen.
-		panic(fmt.Sprintf("gc: promotion failure during scavenge (obj %v, %d words)", a, size))
+		// ensureMinorHeadroom makes this unreachable on the allocation slow
+		// path; a direct MinorGC call against a full old generation can
+		// still get here, and that is a capacity condition, not a bug.
+		panic(scavengeAbort{&OOMError{Requested: int64(size) * vm.WordSize, Where: "scavenge promotion"}})
 	}
 	m.CopyObject(dst, a, size)
 	m.SetAge(dst, age)

@@ -27,6 +27,27 @@ type Config struct {
 	CardSize int
 }
 
+// ConfigError is the typed error for an invalid H1 configuration. Heap
+// geometry comes from user input (experiment sweeps, CLI flags), so bad
+// values surface as errors, not panics.
+type ConfigError struct{ Reason string }
+
+// Error describes the invalid configuration.
+func (e *ConfigError) Error() string { return "heap: invalid config: " + e.Reason }
+
+// Validate checks the configuration for user-correctable mistakes.
+func (cfg *Config) Validate() error {
+	switch {
+	case cfg.H1Size <= 0:
+		return &ConfigError{Reason: fmt.Sprintf("non-positive H1 size %d", cfg.H1Size)}
+	case cfg.YoungFraction <= 0 || cfg.YoungFraction >= 1:
+		return &ConfigError{Reason: fmt.Sprintf("bad young fraction %v", cfg.YoungFraction)}
+	case cfg.SurvivorFraction < 0 || cfg.SurvivorFraction >= 0.5:
+		return &ConfigError{Reason: fmt.Sprintf("bad survivor fraction %v", cfg.SurvivorFraction)}
+	}
+	return nil
+}
+
 // DefaultConfig returns PS-like defaults for the given heap size.
 func DefaultConfig(h1Size int64) Config {
 	return Config{
@@ -63,16 +84,15 @@ func New(cfg Config, as *vm.AddressSpace) *H1 {
 // NewUnmapped lays out the H1 spaces without binding memory; the caller
 // maps [vm.H1Base, vm.H1Base+H1Size) itself. Used by the Spark-MO (NVM
 // memory mode) and Panthera (hybrid DRAM+NVM old generation) baselines.
+// It panics on an invalid configuration; validate first with
+// Config.Validate where bad configs must not kill the process.
 func NewUnmapped(cfg Config) *H1 {
-	if cfg.H1Size <= 0 {
-		panic("heap: non-positive H1 size")
+	if err := cfg.Validate(); err != nil {
+		panic(err.Error())
 	}
 	// Normalize the heap size to a 64-byte multiple so every space
 	// boundary is word-aligned.
 	cfg.H1Size &^= 63
-	if cfg.YoungFraction <= 0 || cfg.YoungFraction >= 1 {
-		panic(fmt.Sprintf("heap: bad young fraction %v", cfg.YoungFraction))
-	}
 	align := func(n int64) int64 { return n &^ (vm.WordSize*8 - 1) }
 	youngSize := align(int64(float64(cfg.H1Size) * cfg.YoungFraction))
 	survSize := align(int64(float64(youngSize) * cfg.SurvivorFraction))

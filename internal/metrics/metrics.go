@@ -14,10 +14,11 @@ import (
 
 // Row is one bar of a breakdown figure.
 type Row struct {
-	Name string
-	B    simclock.Breakdown
-	OOM  bool
-	Note string
+	Name  string
+	B     simclock.Breakdown
+	OOM   bool
+	Fault bool // the run ended on a latched storage fault (fault plane)
+	Note  string
 }
 
 // FormatBreakdown renders rows as an aligned table with one column per
@@ -29,7 +30,7 @@ func FormatBreakdown(title string, rows []Row, normalize bool) string {
 	var base time.Duration
 	if normalize {
 		for _, r := range rows {
-			if !r.OOM {
+			if !r.OOM && !r.Fault {
 				base = r.B.Total()
 				break
 			}
@@ -40,6 +41,10 @@ func FormatBreakdown(title string, rows []Row, normalize bool) string {
 	for _, r := range rows {
 		if r.OOM {
 			fmt.Fprintf(&sb, "%-28s %10s %s\n", r.Name, "OOM", r.Note)
+			continue
+		}
+		if r.Fault {
+			fmt.Fprintf(&sb, "%-28s %10s %s\n", r.Name, "FAULT", r.Note)
 			continue
 		}
 		norm := "-"
@@ -59,18 +64,21 @@ func FormatBreakdown(title string, rows []Row, normalize bool) string {
 }
 
 // CSVBreakdown renders rows as CSV with columns name,total_ns,other_ns,
-// sdio_ns,minor_ns,major_ns,oom.
+// sdio_ns,minor_ns,major_ns,oom,fault.
 func CSVBreakdown(rows []Row) string {
 	var sb strings.Builder
-	sb.WriteString("name,total_ns,other_ns,sdio_ns,minor_ns,major_ns,oom\n")
+	sb.WriteString("name,total_ns,other_ns,sdio_ns,minor_ns,major_ns,oom,fault\n")
 	for _, r := range rows {
-		oom := 0
+		oom, flt := 0, 0
 		if r.OOM {
 			oom = 1
 		}
-		fmt.Fprintf(&sb, "%s,%d,%d,%d,%d,%d,%d\n", r.Name,
+		if r.Fault {
+			flt = 1
+		}
+		fmt.Fprintf(&sb, "%s,%d,%d,%d,%d,%d,%d,%d\n", r.Name,
 			int64(r.B.Total()), r.B.NS[simclock.Other], r.B.NS[simclock.SerDesIO],
-			r.B.NS[simclock.MinorGC], r.B.NS[simclock.MajorGC], oom)
+			r.B.NS[simclock.MinorGC], r.B.NS[simclock.MajorGC], oom, flt)
 	}
 	return sb.String()
 }

@@ -2,6 +2,7 @@ package rt
 
 import (
 	"github.com/carv-repro/teraheap-go/internal/core"
+	"github.com/carv-repro/teraheap-go/internal/fault"
 	"github.com/carv-repro/teraheap-go/internal/gc"
 	"github.com/carv-repro/teraheap-go/internal/heap"
 	"github.com/carv-repro/teraheap-go/internal/simclock"
@@ -87,6 +88,25 @@ func NewJVM(opts Options, classes *vm.ClassTable, clock *simclock.Clock) *JVM {
 	}
 }
 
+// NewJVMChecked builds a PS-based runtime like NewJVM but returns an error
+// instead of panicking when the heap or TeraHeap configuration is invalid;
+// experiment sweeps use it so a bad config fails one run, not the process.
+func NewJVMChecked(opts Options, classes *vm.ClassTable, clock *simclock.Clock) (*JVM, error) {
+	hc := heap.DefaultConfig(opts.H1Size)
+	if opts.HeapCfg != nil {
+		hc = *opts.HeapCfg
+	}
+	if err := hc.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.TH != nil {
+		if err := opts.TH.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return NewJVM(opts, classes, clock), nil
+}
+
 // NewMemoryModeJVM builds the Spark-MO baseline: the whole of H1 lives on
 // NVM in memory mode, with dramCacheBytes of DRAM acting as a hardware-
 // managed cache in front of it.
@@ -158,6 +178,29 @@ func (j *JVM) Collector() *gc.Collector { return j.collector }
 
 // SetVerify toggles before/after-collection heap verification.
 func (j *JVM) SetVerify(v bool) { j.collector.SetVerify(v) }
+
+// SetFaultInjector attaches the run's fault injector to the collector, the
+// H2 allocator, and the H2 device. One injector per run: all fault
+// decisions draw from a single monotonic counter, which is what makes a
+// faulty run reproducible from its seed.
+func (j *JVM) SetFaultInjector(in *fault.Injector) {
+	j.collector.SetFaultInjector(in)
+	if j.th != nil {
+		j.th.SetFaultInjector(in)
+	}
+	if j.H2Dev != nil {
+		j.H2Dev.SetFaultInjector(in)
+	}
+}
+
+// Fault returns the latched persistent storage fault (nil-safe for
+// interface use), mirroring OOM.
+func (j *JVM) Fault() error {
+	if e := j.collector.Fault(); e != nil {
+		return e
+	}
+	return nil
+}
 
 // TeraHeap returns the H2 instance, or nil.
 func (j *JVM) TeraHeap() *core.TeraHeap { return j.th }

@@ -47,6 +47,22 @@ func Map[T any](n int, fn func(i int) T) []T {
 	return Do(n, DefaultWorkers(), fn)
 }
 
+// DoSafe runs fn(0..n-1) like Do, but a panicking job is converted into a
+// result by onPanic(i, panicValue) instead of re-panicking: one failed run
+// fills its own slot with a failed-run result and the rest of the suite
+// completes. Result ordering is identical to Do — onPanic's value lands at
+// the panicking job's index, so merged output stays deterministic.
+func DoSafe[T any](n, workers int, fn func(i int) T, onPanic func(i int, v any) T) []T {
+	return Do(n, workers, func(i int) (out T) {
+		defer func() {
+			if r := recover(); r != nil {
+				out = onPanic(i, r)
+			}
+		}()
+		return fn(i)
+	})
+}
+
 // panicValue carries a worker panic back to the submitting goroutine.
 type panicValue struct {
 	idx int

@@ -61,6 +61,55 @@ func TestDoPropagatesLowestIndexPanic(t *testing.T) {
 	t.Fatal("expected panic")
 }
 
+func TestDoSafeConvertsPanicToResult(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		got := runner.DoSafe(8, workers, func(i int) string {
+			if i == 3 {
+				panic("job-3 exploded")
+			}
+			return "ok"
+		}, func(i int, v any) string {
+			return "failed: " + v.(string)
+		})
+		if len(got) != 8 {
+			t.Fatalf("workers=%d: got %d results", workers, len(got))
+		}
+		for i, v := range got {
+			want := "ok"
+			if i == 3 {
+				want = "failed: job-3 exploded"
+			}
+			if v != want {
+				t.Fatalf("workers=%d: result[%d] = %q, want %q", workers, i, v, want)
+			}
+		}
+	}
+}
+
+func TestDoSafeKeepsDeterministicOrderAcrossPanics(t *testing.T) {
+	// Several panicking jobs interleaved with healthy ones: every slot must
+	// hold its own job's outcome regardless of worker scheduling.
+	mk := func(workers int) []int {
+		return runner.DoSafe(50, workers, func(i int) int {
+			if i%7 == 0 {
+				panic(i)
+			}
+			return i * 10
+		}, func(i int, v any) int {
+			return -v.(int)
+		})
+	}
+	want := mk(1)
+	for _, workers := range []int{2, 8} {
+		got := mk(workers)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result[%d] = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestDefaultWorkers(t *testing.T) {
 	prev := runner.SetDefaultWorkers(3)
 	defer runner.SetDefaultWorkers(prev)

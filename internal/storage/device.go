@@ -3,6 +3,7 @@ package storage
 import (
 	"time"
 
+	"github.com/carv-repro/teraheap-go/internal/fault"
 	"github.com/carv-repro/teraheap-go/internal/simclock"
 )
 
@@ -36,6 +37,11 @@ type Device struct {
 	// asyncOverlap in [0,1] is the fraction of write cost hidden by
 	// explicit asynchronous I/O (used by TeraHeap's promotion buffers).
 	asyncOverlap float64
+
+	// inj, when non-nil, degrades and fails operations per a fault plan.
+	// Every charge is routed through it; a nil injector passes costs
+	// through unchanged, so fault-free runs stay byte-identical.
+	inj *fault.Injector
 }
 
 // NewDevice builds a device of the given kind with its default cost model.
@@ -91,7 +97,7 @@ func (d *Device) Read(n int64) {
 	}
 	d.stats.ReadOps++
 	d.stats.BytesRead += n
-	d.clock.ChargeAmbient(d.model.readCost(n))
+	d.clock.ChargeAmbient(d.inj.DeviceOp(false, d.model.readCost(n)))
 }
 
 // Write charges a random write of n bytes.
@@ -101,7 +107,7 @@ func (d *Device) Write(n int64) {
 	}
 	d.stats.WriteOps++
 	d.stats.BytesWritten += n
-	d.clock.ChargeAmbient(d.model.writeCost(n))
+	d.clock.ChargeAmbient(d.inj.DeviceOp(true, d.model.writeCost(n)))
 }
 
 // ReadSeqBatched charges one page of an established sequential stream:
@@ -117,7 +123,8 @@ func (d *Device) ReadSeqBatched(n int64) {
 	if batch < 1 {
 		batch = 1
 	}
-	d.clock.ChargeAmbient(d.model.ReadLatency/time.Duration(batch) + bwCost(n, d.model.ReadBandwidth))
+	cost := d.model.ReadLatency/time.Duration(batch) + bwCost(n, d.model.ReadBandwidth)
+	d.clock.ChargeAmbient(d.inj.DeviceOp(false, cost))
 }
 
 // ReadSeq charges a sequential streaming read of n bytes.
@@ -127,7 +134,7 @@ func (d *Device) ReadSeq(n int64, pageSize int) {
 	}
 	d.stats.ReadOps++
 	d.stats.BytesRead += n
-	d.clock.ChargeAmbient(d.model.seqReadCost(n, pageSize))
+	d.clock.ChargeAmbient(d.inj.DeviceOp(false, d.model.seqReadCost(n, pageSize)))
 }
 
 // WriteSeq charges a sequential streaming write of n bytes.
@@ -137,7 +144,7 @@ func (d *Device) WriteSeq(n int64, pageSize int) {
 	}
 	d.stats.WriteOps++
 	d.stats.BytesWritten += n
-	d.clock.ChargeAmbient(d.model.seqWriteCost(n, pageSize))
+	d.clock.ChargeAmbient(d.inj.DeviceOp(true, d.model.seqWriteCost(n, pageSize)))
 }
 
 // WriteAsync charges a batched asynchronous write: the overlap fraction of
@@ -150,7 +157,8 @@ func (d *Device) WriteAsync(n int64, pageSize int) {
 	d.stats.WriteOps++
 	d.stats.BytesWritten += n
 	cost := d.model.seqWriteCost(n, pageSize)
-	d.clock.ChargeAmbient(time.Duration(float64(cost) * (1 - d.asyncOverlap)))
+	cost = time.Duration(float64(cost) * (1 - d.asyncOverlap))
+	d.clock.ChargeAmbient(d.inj.DeviceOp(true, cost))
 }
 
 // AccountRead records read traffic without charging time; used by callers
@@ -165,6 +173,14 @@ func (d *Device) AccountWrite(n int64) {
 	d.stats.WriteOps++
 	d.stats.BytesWritten += n
 }
+
+// SetFaultInjector attaches a fault injector to the device; all subsequent
+// operation costs route through it. A nil injector restores fault-free
+// behavior.
+func (d *Device) SetFaultInjector(in *fault.Injector) { d.inj = in }
+
+// FaultInjector returns the attached fault injector (nil when fault-free).
+func (d *Device) FaultInjector() *fault.Injector { return d.inj }
 
 // SetAsyncOverlap adjusts the fraction of asynchronous write cost hidden by
 // overlap; values outside [0,1] are clamped.

@@ -35,11 +35,12 @@ type PageCache struct {
 	raClock int64
 
 	// Counters.
-	Hits       int64
-	Faults     int64
-	SeqFaults  int64
-	Writebacks int64
-	Evictions  int64
+	Hits             int64
+	Faults           int64
+	SeqFaults        int64
+	Writebacks       int64
+	WritebackRetries int64 // injected writeback failures recovered by retry
+	Evictions        int64
 }
 
 type cacheEntry struct {
@@ -83,7 +84,7 @@ func (c *PageCache) Touch(page int64, write bool) {
 		if e.dirty && c.WritebackWindow > 0 {
 			if now := c.dev.clock.Now(); now-e.dirtySince >= c.WritebackWindow {
 				c.Writebacks++
-				c.dev.WriteAsync(int64(c.pageSize), c.pageSize)
+				c.chargeWriteback(func() { c.dev.WriteAsync(int64(c.pageSize), c.pageSize) })
 				e.dirty = false
 			}
 		}
@@ -125,7 +126,19 @@ func (c *PageCache) FlushAll() {
 		}
 	}
 	if dirtyBytes > 0 {
-		c.dev.WriteSeq(dirtyBytes, c.pageSize)
+		c.chargeWriteback(func() { c.dev.WriteSeq(dirtyBytes, c.pageSize) })
+	}
+}
+
+// chargeWriteback charges one writeback, paying it a second time if the
+// fault plane fails the first attempt (the kernel's writeback path retries
+// failed dirty-page I/O; the data is still in the cache, so recovery is a
+// repeat of the write).
+func (c *PageCache) chargeWriteback(charge func()) {
+	charge()
+	if c.dev.inj.WritebackFailed() {
+		c.WritebackRetries++
+		charge()
 	}
 }
 
@@ -179,7 +192,7 @@ func (c *PageCache) evictIfNeeded() {
 		}
 		if victim.dirty {
 			c.Writebacks++
-			c.dev.Write(int64(c.pageSize))
+			c.chargeWriteback(func() { c.dev.Write(int64(c.pageSize)) })
 		}
 		c.Evictions++
 		c.unlink(victim)
