@@ -66,8 +66,7 @@ func (g *G1) allocWords(sizeWords int) (vm.Addr, error) {
 			return vm.NullAddr, err
 		}
 	}
-	g.oom = &gc.OOMError{Requested: int64(sizeWords) * vm.WordSize, Where: "g1 allocation"}
-	return vm.NullAddr, g.oom
+	return vm.NullAddr, g.latchOOM(&gc.OOMError{Requested: int64(sizeWords) * vm.WordSize, Where: "g1 allocation"})
 }
 
 func (g *G1) bump(r *region, sizeWords int) (vm.Addr, bool) {
@@ -117,11 +116,10 @@ func (g *G1) allocHumongous(sizeWords int) (vm.Addr, error) {
 			return vm.NullAddr, err
 		}
 	}
-	g.oom = &gc.OOMError{
+	return vm.NullAddr, g.latchOOM(&gc.OOMError{
 		Requested: int64(sizeWords) * vm.WordSize,
 		Where:     fmt.Sprintf("g1 humongous allocation (%d contiguous regions)", need),
-	}
-	return vm.NullAddr, g.oom
+	})
 }
 
 // evacReserve is the number of free regions the next young evacuation

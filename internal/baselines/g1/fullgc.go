@@ -18,9 +18,7 @@ func (g *G1) fullGC() error {
 	if g.oom != nil {
 		return g.oom
 	}
-	if g.verify {
-		g.runVerify("before full GC")
-	}
+	g.hooks.BeforeGC(gc.PhaseMajor)
 	prev := g.clock.SetContext(simclock.MajorGC)
 	defer g.clock.SetContext(prev)
 	before := g.clock.Breakdown()
@@ -73,8 +71,7 @@ func (g *G1) fullGC() error {
 		return false
 	}
 	if !advance() {
-		g.oom = &gc.OOMError{Requested: 0, Where: "g1 full GC (no packable region)"}
-		return g.oom
+		return g.latchOOM(&gc.OOMError{Requested: 0, Where: "g1 full GC (no packable region)"})
 	}
 	var packedBytes int64
 	// packTop records each destination region's true allocation top:
@@ -86,8 +83,7 @@ func (g *G1) fullGC() error {
 		for cur+size > g.regions[ri].end {
 			ri++
 			if !advance() {
-				g.oom = &gc.OOMError{Requested: int64(size), Where: "g1 full GC compaction"}
-				return g.oom
+				return g.latchOOM(&gc.OOMError{Requested: int64(size), Where: "g1 full GC compaction"})
 			}
 		}
 		dst[i] = cur
@@ -199,9 +195,7 @@ func (g *G1) fullGC() error {
 	})
 	g.stats.MajorCount++
 	g.stats.MajorTime += delta.Get(simclock.MajorGC)
-	if g.verify {
-		g.runVerify("after full GC")
-	}
+	g.hooks.AfterGC(gc.PhaseMajor)
 	return nil
 }
 

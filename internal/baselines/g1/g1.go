@@ -133,8 +133,10 @@ type G1 struct {
 	// default.
 	th gc.SecondHeap
 
-	// verify runs VerifyNow before and after every collection.
-	verify bool
+	// hooks is the collector lifecycle-hook plane (same contract as
+	// gc.Collector's); vhook is the registered verifier hook, if any.
+	hooks gc.Hooks
+	vhook *verifyHook
 }
 
 var _ = fmt.Sprintf // keep fmt imported for panics below
@@ -154,8 +156,10 @@ func New(cfg Config, classes *vm.ClassTable, clock *simclock.Clock) *G1 {
 	if n < 8 {
 		panic("g1: need at least 8 regions")
 	}
-	g := &G1{cfg: cfg, clock: clock, classes: classes, as: &vm.AddressSpace{}, roots: vm.NewRootSet(), th: gc.NoSecondHeap{},
-		verify: cfg.Verify || os.Getenv("TH_VERIFY") == "1"}
+	g := &G1{cfg: cfg, clock: clock, classes: classes, as: &vm.AddressSpace{}, roots: vm.NewRootSet(), th: gc.NoSecondHeap{}}
+	if cfg.Verify || os.Getenv("TH_VERIFY") == "1" {
+		g.SetVerify(true)
+	}
 	ram := vm.NewRAM(vm.H1Base, cfg.H1Size)
 	g.as.Map(vm.H1Base, vm.H1Base+vm.Addr(cfg.H1Size), ram)
 	g.mem = vm.NewMem(g.as, classes)
@@ -236,6 +240,14 @@ func (g *G1) chargeGC(cat simclock.Category, d time.Duration) {
 
 func (g *G1) markCard(a vm.Addr) {
 	g.cards[int64(a-g.cardsBase)/int64(g.cfg.CardSize)] = 1
+}
+
+// latchOOM records the out-of-memory condition (subsequent allocations
+// fail fast on it) and fires the on-OOM lifecycle event exactly once.
+func (g *G1) latchOOM(e *gc.OOMError) *gc.OOMError {
+	g.oom = e
+	g.hooks.OnOOM(e)
+	return e
 }
 
 // AddressSpace exposes the G1 heap's address space so a second heap can

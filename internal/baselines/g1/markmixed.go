@@ -32,9 +32,7 @@ func (g *G1) MarkingCycle() error {
 // reclaim so the caller can back off when marking stops paying (old data
 // that is simply live, e.g. a cached dataset).
 func (g *G1) markAndMixed() (int, error) {
-	if g.verify {
-		g.runVerify("before mixed cycle")
-	}
+	g.hooks.BeforeGC(gc.PhaseMixed)
 	prev := g.clock.SetContext(simclock.MajorGC)
 	defer g.clock.SetContext(prev)
 	before := g.clock.Breakdown()
@@ -98,9 +96,7 @@ func (g *G1) markAndMixed() (int, error) {
 	})
 	g.stats.MajorCount++
 	g.stats.MajorTime += delta.Get(simclock.MajorGC)
-	if g.verify {
-		g.runVerify("after mixed cycle")
-	}
+	g.hooks.AfterGC(gc.PhaseMixed)
 	return regionsFreed, nil
 }
 

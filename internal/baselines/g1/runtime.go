@@ -2,12 +2,13 @@ package g1
 
 import (
 	"github.com/carv-repro/teraheap-go/internal/gc"
-	"github.com/carv-repro/teraheap-go/internal/rt"
 	"github.com/carv-repro/teraheap-go/internal/simclock"
 	"github.com/carv-repro/teraheap-go/internal/vm"
 )
 
-var _ rt.Runtime = (*G1)(nil)
+// G1 implements rt.Runtime; the assertion lives in runtime_iface_test.go
+// (external test package) because rt's Session factory imports this
+// package, so asserting here would be an import cycle.
 
 // Classes returns the class table.
 func (g *G1) Classes() *vm.ClassTable { return g.classes }

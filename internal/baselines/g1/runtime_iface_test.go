@@ -1,0 +1,11 @@
+package g1_test
+
+import (
+	"github.com/carv-repro/teraheap-go/internal/baselines/g1"
+	"github.com/carv-repro/teraheap-go/internal/rt"
+)
+
+// G1 must satisfy the full runtime surface (including the lifecycle-hook
+// plane accessors) so the rt.Session factory can hand it out as an
+// rt.Runtime. The assertion is external because rt imports this package.
+var _ rt.Runtime = (*g1.G1)(nil)

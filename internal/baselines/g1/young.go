@@ -56,9 +56,7 @@ func (g *G1) youngGCNoMark() error {
 	if len(g.free) < len(g.eden)+len(g.survivor)+3 {
 		return g.fullGC()
 	}
-	if g.verify {
-		g.runVerify("before young GC")
-	}
+	g.hooks.BeforeGC(gc.PhaseMinor)
 	prev := g.clock.SetContext(simclock.MinorGC)
 	defer g.clock.SetContext(prev)
 	before := g.clock.Breakdown()
@@ -250,9 +248,7 @@ func (g *G1) youngGCNoMark() error {
 		println("g1 debug: minors", g.stats.MinorCount, "majors", g.stats.MajorCount,
 			"free", len(g.free), "old", len(g.old), "eden", len(g.eden), "hum", len(g.hum))
 	}
-	if g.verify {
-		g.runVerify("after young GC")
-	}
+	g.hooks.AfterGC(gc.PhaseMinor)
 	return nil
 }
 

@@ -28,11 +28,13 @@ func vmClassesForSizeSeg() *vm.ClassTable {
 	return classes
 }
 
-// rtNewJVM builds a TeraHeap JVM for the synthetic ablations.
+// rtNewJVM builds a TeraHeap JVM for the synthetic ablations through the
+// session factory (verification follows the process default; the
+// ablations are fault-free by design).
 func rtNewJVM(thCfg core.Config, classes *vm.ClassTable, clock *simclock.Clock) *rt.JVM {
-	j := rt.NewJVM(rt.Options{H1Size: 4 * storage.MB, TH: &thCfg}, classes, clock)
-	applyVerify(j)
-	return j
+	ses := rt.NewSession(rt.Spec{Kind: rt.KindTH, H1Size: 4 * storage.MB, TH: &thCfg,
+		Classes: classes, Clock: clock, Verify: DefaultContext().Verify})
+	return ses.Runtime.(*rt.JVM)
 }
 
 // AblationStriping quantifies §7.1's remark that "using more NVMe SSDs

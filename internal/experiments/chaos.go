@@ -94,32 +94,30 @@ func (r ChaosResult) Format() string {
 // exercised), a streaming ML run at its reduced DRAM point (read-dominated,
 // so latency spikes and brown-outs land on the page-cache fault path), and
 // the Fig 9a hint pair for Giraph PR (mutable stores forced to H2, so
-// device read-modify-writes absorb the injected errors).
-func chaosSpecs() []Spec {
+// device read-modify-writes absorb the injected errors). Every spec
+// carries ctx explicitly, so the harness never touches the process-default
+// context — chaos runs can interleave with default-context runs.
+func chaosSpecs(ctx *RunContext) []Spec {
 	return []Spec{
-		SparkSpec(SparkRun{Workload: "PR", Runtime: RuntimePS, DramGB: 80}),
-		SparkSpec(SparkRun{Workload: "PR", Runtime: RuntimeTH, DramGB: 80}),
-		SparkSpec(SparkRun{Workload: "LR", Runtime: RuntimeTH, DramGB: 43}),
-		GiraphSpec(GiraphRun{Workload: "PR", Mode: giraph.ModeTH, DramGB: 74,
+		SparkSpec(SparkRun{Workload: "PR", Runtime: RuntimePS, DramGB: 80, Ctx: ctx}),
+		SparkSpec(SparkRun{Workload: "PR", Runtime: RuntimeTH, DramGB: 80, Ctx: ctx}),
+		SparkSpec(SparkRun{Workload: "LR", Runtime: RuntimeTH, DramGB: 43, Ctx: ctx}),
+		GiraphSpec(GiraphRun{Workload: "PR", Mode: giraph.ModeTH, DramGB: 74, Ctx: ctx,
 			THConfig: func(c *core.Config) {
 				c.EnableMoveHint = false
 				c.LowThreshold = 0
 			}}),
-		GiraphSpec(GiraphRun{Workload: "PR", Mode: giraph.ModeTH, DramGB: 74,
+		GiraphSpec(GiraphRun{Workload: "PR", Mode: giraph.ModeTH, DramGB: 74, Ctx: ctx,
 			THConfig: func(c *core.Config) { c.LowThreshold = 0 }}),
 	}
 }
 
 // RunChaos executes the chaos schedule under the given fault plan with the
-// full-heap invariant verifier enabled for every run, restoring the
-// previous verify/fault globals on return. A nil plan runs the schedule
-// fault-free (the baseline the determinism CI job compares against).
+// full-heap invariant verifier enabled for every run. The plan and the
+// verifier ride a scoped RunContext — the process-default context is
+// never modified. A nil plan runs the schedule fault-free (the baseline
+// the determinism CI job compares against).
 func RunChaos(plan *fault.Plan) ChaosResult {
-	prevVerify := SetVerify(true)
-	prevPlan := SetFaultPlan(plan)
-	defer func() {
-		SetVerify(prevVerify)
-		SetFaultPlan(prevPlan)
-	}()
-	return ChaosResult{Plan: plan, Runs: RunAll(chaosSpecs())}
+	ctx := &RunContext{Verify: true, FaultPlan: plan}
+	return ChaosResult{Plan: plan, Runs: RunAll(chaosSpecs(ctx))}
 }

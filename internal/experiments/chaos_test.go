@@ -27,8 +27,8 @@ func TestChaosSurvivesFaultSchedule(t *testing.T) {
 	if res.Panicked() {
 		t.Fatalf("chaos run panicked:\n%s", res.Format())
 	}
-	if len(res.Runs) != len(chaosSpecs()) {
-		t.Fatalf("got %d runs, want %d", len(res.Runs), len(chaosSpecs()))
+	if len(res.Runs) != len(chaosSpecs(nil)) {
+		t.Fatalf("got %d runs, want %d", len(res.Runs), len(chaosSpecs(nil)))
 	}
 	healthy, degraded, faulted, oom, panicked := res.Counts()
 	if healthy+degraded+faulted+oom+panicked != len(res.Runs) {
@@ -66,8 +66,9 @@ func TestChaosSameSeedIsDeterministic(t *testing.T) {
 	}
 }
 
-// TestChaosGlobalsRestored checks RunChaos leaves the verify/fault toggles
-// the way it found them.
+// TestChaosGlobalsRestored checks RunChaos leaves the process-default
+// context the way it found it (it runs on scoped contexts and never
+// touches the default).
 func TestChaosGlobalsRestored(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full chaos schedule in -short mode")

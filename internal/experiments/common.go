@@ -14,7 +14,6 @@ import (
 	"strings"
 	"time"
 
-	"github.com/carv-repro/teraheap-go/internal/baselines/g1"
 	"github.com/carv-repro/teraheap-go/internal/core"
 	"github.com/carv-repro/teraheap-go/internal/fault"
 	"github.com/carv-repro/teraheap-go/internal/gc"
@@ -69,6 +68,9 @@ type SparkRun struct {
 	THConfig func(*core.Config)
 	// Stripes stripes the H2/off-heap device across N units (0/1 = one).
 	Stripes int
+	// Ctx scopes the run's cross-cutting configuration (verification,
+	// fault injection); nil uses the process default.
+	Ctx *RunContext
 }
 
 // RunResult captures one run's outcome.
@@ -309,93 +311,72 @@ func RunSpark(cfg SparkRun) RunResult {
 	if cfg.DatasetScale == 0 {
 		cfg.DatasetScale = 1
 	}
-	if cfg.Device == storage.DRAM {
-		cfg.Device = storage.NVMeSSD
-	}
 	datasetBytes := int64(float64(GB(spec.datasetGB)) * cfg.DatasetScale)
 	heapGB := cfg.DramGB - DR2GB
 	if heapGB < 2 {
 		heapGB = 2
 	}
 
-	clock := simclock.New()
-	var dev *storage.Device
-	if cfg.Stripes > 1 {
-		dev = storage.NewStripedDevice(cfg.Device, cfg.Stripes, clock)
-	} else {
-		dev = storage.NewDevice(cfg.Device, clock)
+	rctx := cfg.Ctx.orDefault()
+	sspec := rt.Spec{
+		Clock:      simclock.New(),
+		DeviceKind: cfg.Device,
+		Stripes:    cfg.Stripes,
+		Verify:     rctx.Verify,
+		FaultPlan:  rctx.FaultPlan,
 	}
-
-	var runtime rt.Runtime
-	var th *core.TeraHeap
 	mode := spark.ModeSD
 	name := ""
 	switch cfg.Runtime {
 	case RuntimePS:
-		runtime = rt.NewJVM(rt.Options{H1Size: GB(heapGB)}, nil, clock)
+		sspec.Kind = rt.KindPS
+		sspec.H1Size = GB(heapGB)
 		mode = spark.ModeSD
 		name = fmt.Sprintf("%s/spark-sd/%.0fGB", spec.name, cfg.DramGB)
 	case RuntimeG1:
-		runtime = g1.New(g1.DefaultConfig(GB(heapGB)), nil, clock)
+		sspec.Kind = rt.KindG1
+		sspec.H1Size = GB(heapGB)
 		mode = spark.ModeSD
 		name = fmt.Sprintf("%s/g1/%.0fGB", spec.name, cfg.DramGB)
 	case RuntimeG1TH:
-		h1 := heapGB * spec.thH1Frac / 0.8
-		if h1 > heapGB {
-			h1 = heapGB
-		}
-		thCfg := core.DefaultConfig(GB(spec.datasetGB*cfg.DatasetScale*3 + 64))
-		thCfg.RegionSize = 64 * storage.KB
-		thCfg.CacheBytes = GB(DR2GB)
-		if spec.hugePages {
-			thCfg.PageSize = 64 * storage.KB
-		}
+		h1, thCfg := sparkTHSizing(spec, cfg, heapGB).Resolve()
 		if cfg.THConfig != nil {
 			cfg.THConfig(&thCfg)
 		}
-		g, thImpl := g1.NewWithTeraHeap(g1.DefaultConfig(GB(h1)), thCfg, dev, nil, clock)
-		runtime = g
-		th = thImpl
+		sspec.Kind = rt.KindG1TH
+		sspec.H1Size = h1
+		sspec.TH = &thCfg
 		mode = spark.ModeTH
 		name = fmt.Sprintf("%s/g1+th/%.0fGB", spec.name, cfg.DramGB)
 	case RuntimeMO:
 		// Spark-MO: heap sized to fit everything, NVM memory mode with
 		// DRAM as hardware cache.
-		runtime = rt.NewMemoryModeJVM(GB(spec.datasetGB*cfg.DatasetScale*3.2+16), GB(cfg.DramGB-2), dev, nil, clock)
+		sspec.Kind = rt.KindMO
+		sspec.H1Size = GB(spec.datasetGB*cfg.DatasetScale*3.2 + 16)
+		sspec.DRAMCacheBytes = GB(cfg.DramGB - 2)
 		mode = spark.ModeMO
 		name = fmt.Sprintf("%s/spark-mo/%.0fGB", spec.name, cfg.DramGB)
 	case RuntimePanthera:
 		// 25% DRAM / 75% NVM heap split (§7.5).
-		total := GB(64)
-		runtime = rt.NewPantheraJVM(total, GB(6), dev, nil, clock)
+		sspec.Kind = rt.KindPanthera
+		sspec.H1Size = GB(64)
+		sspec.DRAMOldBytes = GB(6)
 		mode = spark.ModeMO
 		name = fmt.Sprintf("%s/panthera/%.0fGB", spec.name, cfg.DramGB)
 	case RuntimeTH:
-		h1 := heapGB * spec.thH1Frac / 0.8 // thH1Frac tuned at DR2=16 points
-		if h1 > heapGB {
-			h1 = heapGB
-		}
-		thCfg := core.DefaultConfig(GB(spec.datasetGB*cfg.DatasetScale*3 + 64))
-		thCfg.RegionSize = 64 * storage.KB
-		thCfg.CacheBytes = GB(DR2GB)
-		if spec.hugePages {
-			thCfg.PageSize = 64 * storage.KB // scaled huge pages
-		}
+		h1, thCfg := sparkTHSizing(spec, cfg, heapGB).Resolve()
 		if cfg.THConfig != nil {
 			cfg.THConfig(&thCfg)
 		}
-		jvm := rt.NewJVM(rt.Options{H1Size: GB(h1), TH: &thCfg, H2Device: dev}, nil, clock)
-		th = jvm.TeraHeap()
-		runtime = jvm
+		sspec.Kind = rt.KindTH
+		sspec.H1Size = h1
+		sspec.TH = &thCfg
 		mode = spark.ModeTH
 		name = fmt.Sprintf("%s/th/%.0fGB", spec.name, cfg.DramGB)
 	}
-	if vr, ok := runtime.(interface{ SetVerify(bool) }); ok {
-		applyVerify(vr)
-	}
-	inj := newRunInjector()
-	dev.SetFaultInjector(inj)
-	applyFault(runtime, inj)
+	ses := rt.NewSession(sspec)
+	runtime, th, dev := ses.Runtime, ses.TH, ses.Device
+	clock := ses.Clock
 
 	ctx := spark.NewContext(spark.Conf{
 		RT:                runtime,
@@ -420,7 +401,7 @@ func RunSpark(cfg SparkRun) RunResult {
 		res.FinalLowThreshold = th.LowThresholdNow()
 		res.H2UsedBytes = th.UsedBytes()
 	}
-	res.FaultStats = inj.Stats()
+	res.FaultStats = ses.Injector.Stats()
 	if err != nil {
 		var oom *gc.OOMError
 		var flt *gc.FaultError
@@ -437,16 +418,28 @@ func RunSpark(cfg SparkRun) RunResult {
 	// A device failure latched after the workload's last allocation (or on
 	// a runtime without collector-level polling, like the G1 baseline)
 	// still fails the run.
-	if f := inj.Failure(); f != nil && !res.Faulted {
-		res.Faulted = true
-		res.FailErr = f.Error()
-	}
-	if e := runtimeFault(runtime); e != nil && !res.Faulted {
+	if e := ses.Fault(); e != nil && !res.Faulted {
 		res.Faulted = true
 		res.FailErr = e.Error()
 	}
 	noteOutcome(res)
 	return res
+}
+
+// sparkTHSizing maps a Table 3 workload onto the shared TeraHeap sizing
+// rule: the Spark H1 fractions were hand-tuned at the DR2=16 points
+// (where H1 is 0.8 of the executor budget), and the H2 page cache gets
+// the fixed system reserve.
+func sparkTHSizing(spec *sparkSpec, cfg SparkRun, heapGB float64) rt.THSizing {
+	return rt.THSizing{
+		BudgetGB:    heapGB,
+		H1Frac:      spec.thH1Frac,
+		TunedAtFrac: 0.8,
+		DatasetGB:   spec.datasetGB * cfg.DatasetScale,
+		CacheGB:     DR2GB,
+		HugePages:   spec.hugePages,
+		BytesPerGB:  Scale,
+	}
 }
 
 // chargeableDuration is a small helper used by reports.

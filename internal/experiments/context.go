@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"sync/atomic"
+
+	"github.com/carv-repro/teraheap-go/internal/fault"
+)
+
+// RunContext carries the cross-cutting per-run configuration — heap
+// verification and fault injection — as an explicit, immutable value.
+// Runs that leave their Ctx field nil pick up the process default (set
+// by the CLI's -verify/-fault flags via SetVerify/SetFaultPlan); runs
+// with an explicit context are completely scoped by it, so two runs with
+// different verify/fault settings execute concurrently without bleeding
+// into each other (the chaos harness relies on this).
+//
+// A RunContext must not be mutated after it is handed to a run.
+type RunContext struct {
+	// Verify registers the full-heap invariant verifier on the run's
+	// runtime (the TH_VERIFY=1 environment variable achieves the same at
+	// the collector level without going through a context).
+	Verify bool
+	// FaultPlan, when non-nil, injects faults into the run. The plan is
+	// shared immutable configuration; each run builds its own
+	// fault.Injector from it, so decisions depend only on that run's
+	// operation stream — worker interleaving across parallel runs cannot
+	// perturb them.
+	FaultPlan *fault.Plan
+}
+
+// defaultCtx holds the process-default RunContext. It is the one
+// sanctioned piece of package-level state (besides the badRuns counter):
+// a pointer swap on flag parsing, read-only during runs.
+var defaultCtx atomic.Pointer[RunContext]
+
+func init() { defaultCtx.Store(&RunContext{}) }
+
+// DefaultContext returns the current process-default run context (never
+// nil). The returned value is shared: treat it as read-only.
+func DefaultContext() *RunContext { return defaultCtx.Load() }
+
+// orDefault resolves a run's context field.
+func (c *RunContext) orDefault() *RunContext {
+	if c == nil {
+		return DefaultContext()
+	}
+	return c
+}
+
+// newInjector builds the context's per-run injector (nil when fault-free).
+func (c *RunContext) newInjector() *fault.Injector { return fault.NewInjector(c.FaultPlan) }
+
+// SetVerify toggles heap verification in the process-default context and
+// returns the previous setting. It is a shim over DefaultContext for the
+// teraheap-bench -verify flag; runs wanting scoped behaviour pass their
+// own RunContext instead.
+func SetVerify(v bool) bool {
+	for {
+		old := defaultCtx.Load()
+		if old.Verify == v {
+			return old.Verify
+		}
+		next := *old
+		next.Verify = v
+		if defaultCtx.CompareAndSwap(old, &next) {
+			return old.Verify
+		}
+	}
+}
+
+// SetFaultPlan installs the fault plan in the process-default context
+// (nil disables injection) and returns the previous plan. Like SetVerify
+// it is a shim for the -fault flag.
+func SetFaultPlan(p *fault.Plan) *fault.Plan {
+	for {
+		old := defaultCtx.Load()
+		next := *old
+		next.FaultPlan = p
+		if defaultCtx.CompareAndSwap(old, &next) {
+			return old.FaultPlan
+		}
+	}
+}
+
+// FaultPlan returns the process-default fault plan, or nil.
+func FaultPlan() *fault.Plan { return DefaultContext().FaultPlan }

@@ -10,7 +10,6 @@ import (
 	"github.com/carv-repro/teraheap-go/internal/heap"
 	"github.com/carv-repro/teraheap-go/internal/rt"
 	"github.com/carv-repro/teraheap-go/internal/simclock"
-	"github.com/carv-repro/teraheap-go/internal/storage"
 	"github.com/carv-repro/teraheap-go/internal/vm"
 	"github.com/carv-repro/teraheap-go/internal/workloads"
 )
@@ -54,6 +53,9 @@ type GiraphRun struct {
 	THConfig     func(*core.Config)
 	// AnalyzeRegions runs the Fig 10 region-liveness analysis at the end.
 	AnalyzeRegions bool
+	// Ctx scopes the run's cross-cutting configuration (verification,
+	// fault injection); nil uses the process default.
+	Ctx *RunContext
 }
 
 // RunGiraph executes one Giraph configuration.
@@ -71,9 +73,6 @@ func RunGiraph(cfg GiraphRun) RunResult {
 	datasetBytes := int64(float64(GB(spec.datasetGB)) * cfg.DatasetScale)
 	g := giraphGraphFromBytes(200+uint64(len(spec.name)), datasetBytes)
 
-	clock := simclock.New()
-	dev := storage.NewDevice(storage.NVMeSSD, clock)
-
 	// Giraph runs use NewRatio=3 (young = 1/4 of the heap): message
 	// stores are bulky long-lived data, so production deployments shrink
 	// the young generation.
@@ -86,31 +85,34 @@ func RunGiraph(cfg GiraphRun) RunResult {
 		return &hc
 	}
 
-	var jvm *rt.JVM
+	rctx := cfg.Ctx.orDefault()
+	sspec := rt.Spec{
+		Clock:     simclock.New(),
+		Verify:    rctx.Verify,
+		FaultPlan: rctx.FaultPlan,
+	}
 	var name string
-	var th *core.TeraHeap
 	switch cfg.Mode {
 	case giraph.ModeTH:
-		h1 := cfg.DramGB * spec.thH1Frac
-		thCfg := core.DefaultConfig(GB(spec.datasetGB*cfg.DatasetScale*3 + 64))
-		thCfg.RegionSize = 64 * storage.KB
-		thCfg.CacheBytes = GB(cfg.DramGB - h1)
+		h1, thCfg := giraphTHSizing(spec, cfg).Resolve()
 		if cfg.THConfig != nil {
 			cfg.THConfig(&thCfg)
 		}
-		jvm = rt.NewJVM(rt.Options{H1Size: GB(h1), HeapCfg: giraphHeapCfg(GB(h1)),
-			TH: &thCfg, H2Device: dev}, nil, clock)
-		th = jvm.TeraHeap()
+		sspec.Kind = rt.KindTH
+		sspec.H1Size = h1
+		sspec.HeapCfg = giraphHeapCfg(h1)
+		sspec.TH = &thCfg
 		name = fmt.Sprintf("%s/th/%.0fGB", spec.name, cfg.DramGB)
 	default:
 		heapGB := cfg.DramGB * spec.oocHeapFrac
-		jvm = rt.NewJVM(rt.Options{H1Size: GB(heapGB), HeapCfg: giraphHeapCfg(GB(heapGB))}, nil, clock)
+		sspec.Kind = rt.KindPS
+		sspec.H1Size = GB(heapGB)
+		sspec.HeapCfg = giraphHeapCfg(GB(heapGB))
 		name = fmt.Sprintf("%s/ooc/%.0fGB", spec.name, cfg.DramGB)
 	}
-	applyVerify(jvm)
-	inj := newRunInjector()
-	dev.SetFaultInjector(inj)
-	applyFault(jvm, inj)
+	ses := rt.NewSession(sspec)
+	jvm := ses.Runtime.(*rt.JVM)
+	th, dev, clock := ses.TH, ses.Device, ses.Clock
 
 	res := RunResult{Name: name}
 	finish := func(err error) RunResult {
@@ -124,7 +126,7 @@ func RunGiraph(cfg GiraphRun) RunResult {
 			res.FinalLowThreshold = th.LowThresholdNow()
 			res.H2UsedBytes = th.UsedBytes()
 		}
-		res.FaultStats = inj.Stats()
+		res.FaultStats = ses.Injector.Stats()
 		if err != nil {
 			var oom *gc.OOMError
 			var flt *gc.FaultError
@@ -140,7 +142,7 @@ func RunGiraph(cfg GiraphRun) RunResult {
 			noteOutcome(res)
 			return res
 		}
-		if f := inj.Failure(); f != nil && !res.Faulted {
+		if f := ses.Injector.Failure(); f != nil && !res.Faulted {
 			res.Faulted = true
 			res.FailErr = f.Error()
 		}
@@ -176,6 +178,18 @@ func RunGiraph(cfg GiraphRun) RunResult {
 		}
 	}
 	return finish(err)
+}
+
+// giraphTHSizing maps a Table 4 workload onto the shared TeraHeap sizing
+// rule: the Giraph H1 fraction applies directly to DRAM, and the H2 page
+// cache gets whatever DRAM remains after H1.
+func giraphTHSizing(spec *giraphSpec, cfg GiraphRun) rt.THSizing {
+	return rt.THSizing{
+		BudgetGB:   cfg.DramGB,
+		H1Frac:     spec.thH1Frac,
+		DatasetGB:  spec.datasetGB * cfg.DatasetScale,
+		BytesPerGB: Scale,
+	}
 }
 
 // collectH2Roots gathers every H1→H2 forward reference plus every rooted

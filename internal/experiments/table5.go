@@ -40,15 +40,15 @@ func BarrierOverhead() string {
 		clock := simclock.New()
 		classes := vm.NewClassTable()
 		node := classes.MustFixed("dacapo.Node", 2, 2)
-		var jvm *rt.JVM
+		sspec := rt.Spec{Kind: rt.KindPS, H1Size: 4 * storage.MB,
+			Classes: classes, Clock: clock, Verify: DefaultContext().Verify}
 		if withTH {
 			cfg := core.DefaultConfig(16 * storage.MB)
 			cfg.RegionSize = 64 * storage.KB
-			jvm = rt.NewJVM(rt.Options{H1Size: 4 * storage.MB, TH: &cfg}, classes, clock)
-		} else {
-			jvm = rt.NewJVM(rt.Options{H1Size: 4 * storage.MB}, classes, clock)
+			sspec.Kind = rt.KindTH
+			sspec.TH = &cfg
 		}
-		applyVerify(jvm)
+		jvm := rt.NewSession(sspec).Runtime.(*rt.JVM)
 		// Pointer-churn mutator: build and rewire small object graphs with
 		// DaCapo-like barrier density (a few reference stores per ~100ns
 		// of compute).
@@ -96,8 +96,7 @@ func AblationGroupMode() string {
 		thCfg := core.DefaultConfig(64 * storage.MB)
 		thCfg.RegionSize = 16 * storage.KB
 		thCfg.GroupMode = mode
-		jvm := rt.NewJVM(rt.Options{H1Size: 4 * storage.MB, TH: &thCfg}, classes, clock)
-		applyVerify(jvm)
+		jvm := rtNewJVM(thCfg, classes, clock)
 
 		const chains, chainLen, payload = 40, 3, 128
 		type link struct {

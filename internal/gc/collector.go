@@ -135,8 +135,12 @@ type Collector struct {
 	// the extra H2 range check in the post-write barrier is compiled out.
 	barrierEnabled bool
 
-	// verify runs the invariant verifier around every GC pause.
-	verify bool
+	// hooks is the ordered lifecycle-hook plane: cross-cutting layers
+	// (verification, event accounting, tracing) register here instead of
+	// patching the collection phases. vhook is the registered verifier
+	// hook, if any (the SetVerify shim toggles it).
+	hooks Hooks
+	vhook *verifyHook
 }
 
 // New builds a collector over a DRAM-backed H1. th may be nil for a
@@ -144,7 +148,7 @@ type Collector struct {
 func New(cfg Config, as *vm.AddressSpace, classes *vm.ClassTable, clock *simclock.Clock, th SecondHeap) *Collector {
 	c := NewWithHeap(heap.New(cfg.Heap, as), cfg.Costs, as, classes, clock, th)
 	if cfg.Verify {
-		c.verify = true
+		c.SetVerify(true)
 	}
 	return c
 }
@@ -165,13 +169,36 @@ func NewWithHeap(h1 *heap.H1, costs CostParams, as *vm.AddressSpace, classes *vm
 		Costs:          costs,
 		startArray:     make([]vm.Addr, h1.Cards.NumCards()),
 		barrierEnabled: !noTH,
-		verify:         os.Getenv("TH_VERIFY") == "1",
+	}
+	if os.Getenv("TH_VERIFY") == "1" {
+		c.SetVerify(true)
 	}
 	return c
 }
 
-// SetVerify enables or disables invariant verification around every GC.
-func (c *Collector) SetVerify(v bool) { c.verify = v }
+// Hooks returns the collector's lifecycle-hook plane. Cross-cutting layers
+// register here; the verifier and the session event counters are the stock
+// implementations.
+func (c *Collector) Hooks() *Hooks { return &c.hooks }
+
+// SetVerify enables or disables invariant verification around every GC: a
+// shim that registers (or removes) the verifier hook as the first entry of
+// the hook plane.
+func (c *Collector) SetVerify(v bool) {
+	if v == (c.vhook != nil) {
+		return
+	}
+	if v {
+		c.vhook = &verifyHook{c: c}
+		c.hooks.RegisterFirst(c.vhook)
+		return
+	}
+	c.hooks.Remove(c.vhook)
+	c.vhook = nil
+}
+
+// VerifyEnabled reports whether the verifier hook is registered.
+func (c *Collector) VerifyEnabled() bool { return c.vhook != nil }
 
 // SetFaultInjector attaches the run's fault injector so persistent device
 // failures latch on the collector at the next allocation or GC boundary.
@@ -190,8 +217,17 @@ func (c *Collector) pollFault() *FaultError {
 	}
 	if f := c.inj.Failure(); f != nil {
 		c.flt = &FaultError{Cause: f}
+		c.hooks.OnFault(c.flt)
 	}
 	return c.flt
+}
+
+// latchOOM records the out-of-memory condition (subsequent allocations
+// fail fast on it) and fires the on-OOM lifecycle event exactly once.
+func (c *Collector) latchOOM(e *OOMError) *OOMError {
+	c.oom = e
+	c.hooks.OnOOM(e)
+	return e
 }
 
 // VerifyNow runs the full invariant verifier immediately and returns the
@@ -238,8 +274,7 @@ func (c *Collector) AllocPretenured(class *vm.Class, numRefs, sizeWords int) (vm
 		a, ok = c.allocOld(sizeWords)
 	}
 	if !ok {
-		c.oom = &OOMError{Requested: int64(sizeWords) * vm.WordSize, Where: "pretenured allocation"}
-		return vm.NullAddr, c.oom
+		return vm.NullAddr, c.latchOOM(&OOMError{Requested: int64(sizeWords) * vm.WordSize, Where: "pretenured allocation"})
 	}
 	c.Mem.InitObject(a, class, numRefs, sizeWords)
 	c.stats.BytesAllocated += int64(sizeWords) * vm.WordSize
@@ -331,8 +366,7 @@ func (c *Collector) allocWords(sizeWords int) (vm.Addr, error) {
 	if a, ok := c.allocOld(sizeWords); ok {
 		return a, nil
 	}
-	c.oom = &OOMError{Requested: sizeBytes, Where: "allocation"}
-	return vm.NullAddr, c.oom
+	return vm.NullAddr, c.latchOOM(&OOMError{Requested: sizeBytes, Where: "allocation"})
 }
 
 // ensureMinorHeadroom guarantees a minor GC cannot fail mid-scavenge: in

@@ -1,0 +1,150 @@
+package gc
+
+// Collector lifecycle hooks: the one extension point for cross-cutting
+// layers (invariant verification, fault/event accounting, tracing, memory
+// profiling). Both collectors — Parallel Scavenge here and the G1 baseline
+// in internal/baselines/g1 — fire the same events, so a layer registers
+// one Hook and observes every runtime kind without editing any collector.
+//
+// Hooks observe; they must not mutate the heap, allocate in it, or charge
+// simulated time, so a run's results are byte-identical with any set of
+// hooks registered. (The verifier hook enforces its findings by panicking
+// with a structured report, which is an abort, not a mutation.)
+
+// Phase identifies the collection type a lifecycle event belongs to.
+type Phase int
+
+// Collection phases. PS maps minor→PhaseMinor and major→PhaseMajor; G1
+// maps young→PhaseMinor, concurrent-mark+mixed→PhaseMixed, and full
+// compaction→PhaseMajor.
+const (
+	PhaseMinor Phase = iota
+	PhaseMajor
+	PhaseMixed
+)
+
+// String names the phase.
+func (p Phase) String() string {
+	switch p {
+	case PhaseMinor:
+		return "minor"
+	case PhaseMajor:
+		return "major"
+	case PhaseMixed:
+		return "mixed"
+	}
+	return "unknown"
+}
+
+// Hook observes collector lifecycle events.
+type Hook interface {
+	// BeforeGC fires at the start of a collection pause, before any object
+	// moves; AfterGC fires after the pause's bookkeeping completes.
+	BeforeGC(p Phase)
+	AfterGC(p Phase)
+	// OnFault fires once, when a persistent device failure latches on the
+	// collector.
+	OnFault(err error)
+	// OnOOM fires once, when an out-of-memory condition latches.
+	OnOOM(err error)
+}
+
+// BaseHook is a no-op Hook for embedding: implementations override only
+// the events they care about.
+type BaseHook struct{}
+
+// BeforeGC is a no-op.
+func (BaseHook) BeforeGC(Phase) {}
+
+// AfterGC is a no-op.
+func (BaseHook) AfterGC(Phase) {}
+
+// OnFault is a no-op.
+func (BaseHook) OnFault(error) {}
+
+// OnOOM is a no-op.
+func (BaseHook) OnOOM(error) {}
+
+// Hooks is an ordered hook list; registration order is invocation order.
+// The zero value is an empty, usable list. Like the collector itself it is
+// not safe for concurrent mutation: a run is single-threaded by
+// construction.
+type Hooks struct {
+	list []Hook
+}
+
+// Register appends h to the list.
+func (hs *Hooks) Register(h Hook) {
+	hs.list = append(hs.list, h)
+}
+
+// RegisterFirst prepends h, so it observes every event before the hooks
+// already registered (the verifier uses this: it must see the heap before
+// any other layer reacts to the event).
+func (hs *Hooks) RegisterFirst(h Hook) {
+	hs.list = append([]Hook{h}, hs.list...)
+}
+
+// Remove deletes the first registered hook equal to h, preserving order.
+// It reports whether a hook was removed.
+func (hs *Hooks) Remove(h Hook) bool {
+	for i, x := range hs.list {
+		if x == h {
+			hs.list = append(hs.list[:i], hs.list[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of registered hooks.
+func (hs *Hooks) Len() int { return len(hs.list) }
+
+// BeforeGC fans the event out in registration order.
+func (hs *Hooks) BeforeGC(p Phase) {
+	for _, h := range hs.list {
+		h.BeforeGC(p)
+	}
+}
+
+// AfterGC fans the event out in registration order.
+func (hs *Hooks) AfterGC(p Phase) {
+	for _, h := range hs.list {
+		h.AfterGC(p)
+	}
+}
+
+// OnFault fans the event out in registration order.
+func (hs *Hooks) OnFault(err error) {
+	for _, h := range hs.list {
+		h.OnFault(err)
+	}
+}
+
+// OnOOM fans the event out in registration order.
+func (hs *Hooks) OnOOM(err error) {
+	for _, h := range hs.list {
+		h.OnOOM(err)
+	}
+}
+
+// verifyHook runs the full-heap invariant verifier around every pause: the
+// first stock implementation of the hook plane (the VerifyBeforeGC/
+// VerifyAfterGC analog). It panics with a structured report on the first
+// violation.
+type verifyHook struct {
+	BaseHook
+	c *Collector
+}
+
+// psPhaseName keeps the verifier's report labels identical to the
+// pre-hook-plane call sites.
+func psPhaseName(p Phase) string {
+	if p == PhaseMajor {
+		return "major GC"
+	}
+	return "minor GC"
+}
+
+func (h *verifyHook) BeforeGC(p Phase) { h.c.runVerify("before " + psPhaseName(p)) }
+func (h *verifyHook) AfterGC(p Phase)  { h.c.runVerify("after " + psPhaseName(p)) }

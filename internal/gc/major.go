@@ -18,9 +18,7 @@ func (c *Collector) MajorGC() error {
 	if flt := c.pollFault(); flt != nil {
 		return flt
 	}
-	if c.verify {
-		c.runVerify("before major GC")
-	}
+	c.hooks.BeforeGC(PhaseMajor)
 	prevCat := c.Clock.SetContext(simclock.MajorGC)
 	defer c.Clock.SetContext(prevCat)
 	before := c.Clock.Breakdown()
@@ -64,9 +62,7 @@ func (c *Collector) MajorGC() error {
 	cy.OldOccupancyAfter = c.H1.OldOccupancy()
 	cy.ReclaimedBytes = usedBefore - c.H1.Used()
 	c.stats.record(cy)
-	if c.verify {
-		c.runVerify("after major GC")
-	}
+	c.hooks.AfterGC(PhaseMajor)
 	// A device that died during the cycle surfaces here: the heap is
 	// consistent (the phase completed against the simulated mapping), but
 	// the run must end as a structured failure.
@@ -283,12 +279,11 @@ func (c *Collector) majorPrecompact(mk *markState, cy *Cycle) (*forwarding, erro
 			for _, o := range append(append([]vm.Addr{}, youngLive...), oldLive...) {
 				byLabel[m.Label(o)] += int64(m.SizeWords(o)) * vm.WordSize
 			}
-			c.oom = &OOMError{
+			return vm.NullAddr, c.latchOOM(&OOMError{
 				Requested: int64(size) * vm.WordSize,
 				Where: fmt.Sprintf("major GC compaction (live young=%d old=%d objs, closure=%dw, old cap=%d, liveByLabel=%v)",
 					len(youngLive), len(oldLive), mk.closureWords, c.H1.Old.Capacity(), byLabel),
-			}
-			return vm.NullAddr, c.oom
+			})
 		}
 		return dst, nil
 	}

@@ -55,9 +55,7 @@ func (c *Collector) MinorGC() (err error) {
 	if flt := c.pollFault(); flt != nil {
 		return flt
 	}
-	if c.verify {
-		c.runVerify("before minor GC")
-	}
+	c.hooks.BeforeGC(PhaseMinor)
 	prevCat := c.Clock.SetContext(simclock.MinorGC)
 	defer c.Clock.SetContext(prevCat)
 	defer func() {
@@ -72,8 +70,7 @@ func (c *Collector) MinorGC() (err error) {
 			if !ok {
 				panic(r)
 			}
-			c.oom = sa.err
-			err = sa.err
+			err = c.latchOOM(sa.err)
 		}
 	}()
 	before := c.Clock.Breakdown()
@@ -134,9 +131,7 @@ func (c *Collector) MinorGC() (err error) {
 		OldOccupancyAfter: c.H1.OldOccupancy(),
 		CardsScanned:      s.cardsScanned,
 	})
-	if c.verify {
-		c.runVerify("after minor GC")
-	}
+	c.hooks.AfterGC(PhaseMinor)
 	if flt := c.pollFault(); flt != nil {
 		return flt
 	}

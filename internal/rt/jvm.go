@@ -179,6 +179,12 @@ func (j *JVM) Collector() *gc.Collector { return j.collector }
 // SetVerify toggles before/after-collection heap verification.
 func (j *JVM) SetVerify(v bool) { j.collector.SetVerify(v) }
 
+// Hooks exposes the collector's lifecycle-hook plane.
+func (j *JVM) Hooks() *gc.Hooks { return j.collector.Hooks() }
+
+// VerifyEnabled reports whether the verifier hook is registered.
+func (j *JVM) VerifyEnabled() bool { return j.collector.VerifyEnabled() }
+
 // SetFaultInjector attaches the run's fault injector to the collector, the
 // H2 allocator, and the H2 device. One injector per run: all fault
 // decisions draw from a single monotonic counter, which is what makes a

@@ -64,6 +64,13 @@ type Runtime interface {
 	// OOM returns the latched out-of-memory error, if any.
 	OOM() error
 
+	// Hooks exposes the collector lifecycle-hook plane: the registration
+	// point for cross-cutting observers (verification, event accounting,
+	// tracing). Both collectors fire the same events.
+	Hooks() *gc.Hooks
+	// SetVerify toggles the stock full-heap verifier hook.
+	SetVerify(v bool)
+
 	GCStats() *gc.Stats
 	Breakdown() simclock.Breakdown
 }

@@ -1,0 +1,251 @@
+package rt
+
+import (
+	"fmt"
+
+	"github.com/carv-repro/teraheap-go/internal/baselines/g1"
+	"github.com/carv-repro/teraheap-go/internal/core"
+	"github.com/carv-repro/teraheap-go/internal/fault"
+	"github.com/carv-repro/teraheap-go/internal/gc"
+	"github.com/carv-repro/teraheap-go/internal/heap"
+	"github.com/carv-repro/teraheap-go/internal/simclock"
+	"github.com/carv-repro/teraheap-go/internal/storage"
+	"github.com/carv-repro/teraheap-go/internal/vm"
+)
+
+// Kind selects one of the paper's six runtime configurations.
+type Kind int
+
+// Runtime kinds (§6 Table 2).
+const (
+	KindPS       Kind = iota // native Parallel Scavenge JVM (Spark-SD, Giraph-OOC)
+	KindTH                   // PS + TeraHeap
+	KindG1                   // Garbage First baseline
+	KindMO                   // PS over NVM memory mode (Spark-MO)
+	KindPanthera             // DRAM+NVM split old generation
+	KindG1TH                 // G1 with an attached TeraHeap (§7.1)
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindPS:
+		return "ps"
+	case KindTH:
+		return "th"
+	case KindG1:
+		return "g1"
+	case KindMO:
+		return "mo"
+	case KindPanthera:
+		return "panthera"
+	case KindG1TH:
+		return "g1+th"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Spec declares one run's runtime: which configuration to build, how to
+// size it, and which cross-cutting layers (verification, fault injection)
+// to wire in. NewSession resolves a Spec into a Session; it is the single
+// construction path for every runtime kind, replacing the per-experiment
+// switch statements that used to duplicate this wiring.
+//
+// All sizes are simulator bytes (experiment code converts paper GB with
+// its Scale; see THSizing for the TeraHeap derivation).
+type Spec struct {
+	Kind Kind
+
+	// H1Size is the managed heap size (for KindMO/KindPanthera, the whole
+	// NVM-backed heap).
+	H1Size int64
+	// HeapCfg optionally overrides the PS heap geometry (Giraph runs
+	// shrink the young generation); nil derives defaults from H1Size.
+	HeapCfg *heap.Config
+	// Costs optionally overrides the GC cost parameters.
+	Costs *gc.CostParams
+
+	// TH is the TeraHeap configuration; required for KindTH and KindG1TH.
+	TH *core.Config
+
+	// Device optionally provides a pre-built H2/off-heap device. When nil
+	// the session builds one from DeviceKind and Stripes.
+	Device *storage.Device
+	// DeviceKind is the technology backing H2/off-heap; the zero value
+	// (DRAM) defaults to NVMe SSD, the paper's base configuration.
+	DeviceKind storage.Kind
+	// Stripes stripes the device across N units (0/1 = one).
+	Stripes int
+
+	// DRAMCacheBytes sizes the hardware-managed DRAM cache in front of
+	// the NVM heap (KindMO).
+	DRAMCacheBytes int64
+	// DRAMOldBytes is the DRAM share of the old generation (KindPanthera).
+	DRAMOldBytes int64
+
+	// G1 optionally overrides the G1 configuration (KindG1/KindG1TH);
+	// nil derives g1.DefaultConfig from H1Size.
+	G1 *g1.Config
+
+	// Classes and Clock are shared when non-nil (microbenchmarks build
+	// their class tables up front); nil builds fresh per-session ones.
+	Classes *vm.ClassTable
+	Clock   *simclock.Clock
+
+	// Verify registers the full-heap invariant verifier hook.
+	Verify bool
+	// FaultPlan, when non-nil, builds this run's fault injector and
+	// attaches it to the device and runtime. Each session gets its own
+	// injector, so concurrent sessions never share fault state.
+	FaultPlan *fault.Plan
+}
+
+// Session is a fully wired runtime instance: the runtime itself plus the
+// per-run resources it was built from. Every run is self-contained — its
+// own clock, class table, device, injector, and hook registrations — so
+// sessions with different Verify/FaultPlan settings execute concurrently
+// without observing each other.
+type Session struct {
+	Spec    Spec
+	Clock   *simclock.Clock
+	Classes *vm.ClassTable
+	Runtime Runtime
+	// Device is the H2/off-heap device (always built: PS/G1 runs use it
+	// for the off-heap shuffle/cache files).
+	Device *storage.Device
+	// TH is the second heap, or nil for kinds without one.
+	TH *core.TeraHeap
+	// Injector is the run's fault injector (nil when Spec.FaultPlan is).
+	Injector *fault.Injector
+	// Events is the stock lifecycle-event accounting hook, registered on
+	// every session after the verifier (the verifier must observe the
+	// heap first).
+	Events *EventStats
+}
+
+// EventStats counts collector lifecycle events: the second stock hook of
+// the plane (after the verifier). Counting is observation only — it never
+// mutates the heap or charges simulated time.
+type EventStats struct {
+	gc.BaseHook
+	MinorGCs int64
+	MajorGCs int64
+	MixedGCs int64
+	Faults   int64
+	OOMs     int64
+}
+
+// AfterGC counts the completed collection.
+func (e *EventStats) AfterGC(p gc.Phase) {
+	switch p {
+	case gc.PhaseMinor:
+		e.MinorGCs++
+	case gc.PhaseMajor:
+		e.MajorGCs++
+	case gc.PhaseMixed:
+		e.MixedGCs++
+	}
+}
+
+// OnFault counts a latched persistent device failure.
+func (e *EventStats) OnFault(error) { e.Faults++ }
+
+// OnOOM counts a latched out-of-memory condition.
+func (e *EventStats) OnOOM(error) { e.OOMs++ }
+
+// NewSession resolves spec into a wired runtime. It panics on an invalid
+// spec (unknown kind, missing TH config), matching the constructors it
+// wraps; experiment code validates sizes beforehand where it needs
+// soft failure.
+func NewSession(spec Spec) *Session {
+	clock := spec.Clock
+	if clock == nil {
+		clock = simclock.New()
+	}
+	classes := spec.Classes
+	if classes == nil {
+		classes = vm.NewClassTable()
+	}
+
+	dev := spec.Device
+	if dev == nil {
+		kind := spec.DeviceKind
+		if kind == storage.DRAM {
+			kind = storage.NVMeSSD
+		}
+		if spec.Stripes > 1 {
+			dev = storage.NewStripedDevice(kind, spec.Stripes, clock)
+		} else {
+			dev = storage.NewDevice(kind, clock)
+		}
+	}
+
+	s := &Session{Spec: spec, Clock: clock, Classes: classes, Device: dev}
+	switch spec.Kind {
+	case KindPS:
+		s.Runtime = NewJVM(Options{H1Size: spec.H1Size, HeapCfg: spec.HeapCfg, Costs: spec.Costs}, classes, clock)
+	case KindTH:
+		if spec.TH == nil {
+			panic("rt: Spec.TH is required for KindTH")
+		}
+		jvm := NewJVM(Options{H1Size: spec.H1Size, HeapCfg: spec.HeapCfg, Costs: spec.Costs,
+			TH: spec.TH, H2Device: dev}, classes, clock)
+		s.Runtime = jvm
+		s.TH = jvm.TeraHeap()
+	case KindG1:
+		s.Runtime = g1.New(s.g1Config(), classes, clock)
+	case KindG1TH:
+		if spec.TH == nil {
+			panic("rt: Spec.TH is required for KindG1TH")
+		}
+		g, th := g1.NewWithTeraHeap(s.g1Config(), *spec.TH, dev, classes, clock)
+		s.Runtime = g
+		s.TH = th
+	case KindMO:
+		s.Runtime = NewMemoryModeJVM(spec.H1Size, spec.DRAMCacheBytes, dev, classes, clock)
+	case KindPanthera:
+		s.Runtime = NewPantheraJVM(spec.H1Size, spec.DRAMOldBytes, dev, classes, clock)
+	default:
+		panic(fmt.Sprintf("rt: unknown runtime kind %d", int(spec.Kind)))
+	}
+
+	// Cross-cutting layers ride the hook plane, in fixed order: the
+	// verifier first (it must see the heap before any layer reacts),
+	// event accounting second.
+	if spec.Verify {
+		s.Runtime.SetVerify(true)
+	}
+	s.Events = &EventStats{}
+	s.Runtime.Hooks().Register(s.Events)
+
+	s.Injector = fault.NewInjector(spec.FaultPlan)
+	dev.SetFaultInjector(s.Injector)
+	if s.Injector != nil {
+		if fi, ok := s.Runtime.(interface{ SetFaultInjector(*fault.Injector) }); ok {
+			fi.SetFaultInjector(s.Injector)
+		}
+	}
+	return s
+}
+
+// g1Config resolves the G1 configuration for G1-based kinds.
+func (s *Session) g1Config() g1.Config {
+	if s.Spec.G1 != nil {
+		return *s.Spec.G1
+	}
+	return g1.DefaultConfig(s.Spec.H1Size)
+}
+
+// Fault returns the run's latched persistent storage failure, checking
+// the injector first (device-level failures latch there even on runtimes
+// without collector-level polling, like the G1 baseline) and then the
+// runtime. Nil when the run is healthy.
+func (s *Session) Fault() error {
+	if f := s.Injector.Failure(); f != nil {
+		return f
+	}
+	if fr, ok := s.Runtime.(interface{ Fault() error }); ok {
+		return fr.Fault()
+	}
+	return nil
+}
