@@ -17,6 +17,12 @@
 // into every run; the same seed yields byte-identical output. The exit code
 // is 1 when any run ended OOM/faulted/panicked — the results table still
 // prints in full, so scripts get partial results plus a failure signal.
+//
+// "bench" records the performance trajectory: it times every figure of the
+// suite, measures the hot-loop microbenchmarks (ns/op + allocs/op), and
+// writes BENCH_<rev>.json. "bench diff OLD NEW" compares two trajectory
+// files and reports regressions past -threshold (report-only unless
+// -strict).
 package main
 
 import (
@@ -24,11 +30,13 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"github.com/carv-repro/teraheap-go/internal/experiments"
 	"github.com/carv-repro/teraheap-go/internal/fault"
 	"github.com/carv-repro/teraheap-go/internal/metrics"
+	"github.com/carv-repro/teraheap-go/internal/perf"
 	"github.com/carv-repro/teraheap-go/internal/runner"
 	"github.com/carv-repro/teraheap-go/internal/workloads"
 )
@@ -75,7 +83,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	compare := fs.Bool("compare", false, "with \"all\": rerun the suite at -j 1 and report the speedup")
 	verify := fs.Bool("verify", false, "run the heap invariant verifier before and after every GC")
 	faultSpec := fs.String("fault", "", "fault-injection plan, e.g. seed=1,dev-err=0.01,wb-fail=0.05")
+	benchOut := fs.String("o", "", "with \"bench\": output path (default BENCH_<rev>.json)")
+	benchRev := fs.String("rev", "dev", "with \"bench\": revision label recorded in the report")
+	threshold := fs.Float64("threshold", 0.25, "with \"bench diff\": regression threshold (fraction)")
+	strict := fs.Bool("strict", false, "with \"bench diff\": exit 1 on regressions instead of report-only")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jobs < 0 {
+		fmt.Fprintf(stderr, "teraheap-bench: -j %d: worker count must be >= 0 (0 = GOMAXPROCS)\n", *jobs)
 		return 2
 	}
 	if fs.NArg() < 1 {
@@ -158,6 +174,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		return 0
+	case "bench":
+		if fs.Arg(1) == "diff" {
+			return runBenchDiff(fs.Arg(2), fs.Arg(3), *threshold, *strict, stdout, stderr)
+		}
+		return runBench(*benchOut, *benchRev, stdout, stderr)
 	case "all":
 		parallel := runAll(stdout, stderr)
 		if *compare {
@@ -193,6 +214,77 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// runBench records the performance trajectory: it runs the full suite
+// (figure text discarded — the product is the timings), measures the
+// hot-loop microbenchmarks, and writes BENCH_<rev>.json. Unlike "all",
+// OOM-by-design runs (the paper's native-JVM OOM bars) do not affect the
+// exit code: the subcommand's contract is the JSON file.
+func runBench(outPath, rev string, stdout, stderr io.Writer) int {
+	report := &perf.Report{
+		Schema:    perf.Schema,
+		Rev:       rev,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		Jobs:      runner.DefaultWorkers(),
+	}
+
+	start := time.Now()
+	for _, e := range suite {
+		figStart := time.Now()
+		e.fn()
+		wall := time.Since(figStart)
+		report.Figures = append(report.Figures, perf.Figure{Name: e.name, WallNS: wall.Nanoseconds()})
+		fmt.Fprintf(stderr, "# %-18s %10v\n", e.name, wall.Round(time.Millisecond))
+	}
+	report.TotalNS = time.Since(start).Nanoseconds()
+	fmt.Fprintf(stderr, "# %-18s %10v (-j %d)\n", "total", time.Duration(report.TotalNS).Round(time.Millisecond), report.Jobs)
+	if n := experiments.BadRuns(); n > 0 {
+		fmt.Fprintf(stderr, "# %d run(s) ended OOM/faulted/panicked (expected for native-JVM OOM bars)\n", n)
+	}
+
+	fmt.Fprintf(stderr, "# measuring microbenchmarks\n")
+	report.Benchmarks = perf.RunMicros()
+
+	if outPath == "" {
+		outPath = fmt.Sprintf("BENCH_%s.json", rev)
+	}
+	if err := report.WriteFile(outPath); err != nil {
+		fmt.Fprintf(stderr, "teraheap-bench: bench: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "wrote %s (total %v, %d figures, %d benchmarks)\n",
+		outPath, time.Duration(report.TotalNS).Round(time.Millisecond),
+		len(report.Figures), len(report.Benchmarks))
+	return 0
+}
+
+// runBenchDiff compares two BENCH files. Report-only by default (CI runs
+// it against the checked-in baseline without failing the build); -strict
+// turns regressions into exit 1.
+func runBenchDiff(oldPath, newPath string, threshold float64, strict bool, stdout, stderr io.Writer) int {
+	if oldPath == "" || newPath == "" {
+		fmt.Fprintln(stderr, "teraheap-bench: usage: bench diff OLD.json NEW.json")
+		return 2
+	}
+	old, err := perf.ReadFile(oldPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "teraheap-bench: bench diff: %v\n", err)
+		return 2
+	}
+	cur, err := perf.ReadFile(newPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "teraheap-bench: bench diff: %v\n", err)
+		return 2
+	}
+	regs := perf.Diff(old, cur, threshold)
+	fmt.Fprint(stdout, perf.FormatRegressions(regs, threshold))
+	if strict && len(regs) > 0 {
+		return 1
+	}
+	return 0
+}
+
 // runAll runs the whole suite, streaming figure text to stdout and
 // per-figure wall-clock timings to stderr, and returns the total
 // wall-clock time.
@@ -220,19 +312,21 @@ func contains(xs []string, s string) bool {
 
 func usage(w io.Writer) {
 	fmt.Fprintln(w, `usage: teraheap-bench [-csv] [-j N] [-compare] [-verify] [-fault PLAN] <experiment> [workload]
+       teraheap-bench bench [-o FILE] [-rev REV]
+       teraheap-bench bench diff OLD.json NEW.json [-threshold F] [-strict]
 
 experiments:
   fig6-spark [PR|CC|SSSP|SVD|TR|LR|LgR|SVM|BC|RL]
   fig6-giraph [PR|CDLP|WCC|BFS|SSSP]
   fig7 fig8 fig9a fig9b fig10 fig11a fig11b
   fig12a fig12b fig12c fig13a fig13b
-  table5 barrier all chaos
+  table5 barrier all chaos bench
   ablation-groups ablation-striping ablation-hugepages
   ablation-dynamic ablation-sizeseg ablation-g1th
 
 flags:
-  -j N       run N experiment configurations in parallel (0 = GOMAXPROCS);
-             output is byte-identical for every -j
+  -j N       run N experiment configurations in parallel (0 = GOMAXPROCS,
+             N < 0 is a usage error); output is byte-identical for every -j
   -compare   with "all": rerun at -j 1 and report the measured speedup
   -csv       emit fig6/fig7 results as CSV
   -verify    run the heap invariant verifier before and after every GC
@@ -243,9 +337,17 @@ flags:
              seed=N,dev-err=P,max-retries=N,backoff=DUR,spike=P[xF],
              brownout=EVERY:LEN[xF],wb-fail=P,torn=P,h2-exhaust=P
              (same seed => byte-identical results; empty = no faults)
+  -o FILE    with "bench": output path (default BENCH_<rev>.json)
+  -rev REV   with "bench": revision label recorded in the report
+  -threshold F
+             with "bench diff": wall-clock/ns regression threshold as a
+             fraction (default 0.25; allocs/op regress on any increase)
+  -strict    with "bench diff": exit 1 on regressions (default report-only)
 
 exit status: 0 clean; 1 when any run ended OOM/faulted/panicked (the full
 results table still prints); 2 usage errors. "chaos" runs a fixed schedule
 (fig7 pair, reduced-DRAM LR, fig9a hint pair) with the verifier forced on
-and exits 1 only if a run panicked — faulted runs are its expected output.`)
+and exits 1 only if a run panicked — faulted runs are its expected output.
+"bench" writes the BENCH_<rev>.json perf trajectory (per-figure wall-clock
++ hot-loop microbenchmarks) and exits 0 even for OOM-by-design runs.`)
 }

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/carv-repro/teraheap-go/internal/perf"
 )
 
 func TestUnknownExperiment(t *testing.T) {
@@ -55,6 +58,21 @@ func TestBadFlag(t *testing.T) {
 	}
 }
 
+// TestNegativeJobsRejected pins the -j validation: negative worker counts
+// are a usage error, not a silent reset, so typos fail fast.
+func TestNegativeJobsRejected(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-j", "-2", "fig7"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2 (stderr:\n%s)", code, stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("-j -2 ran the experiment anyway: %q", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "-j -2") {
+		t.Errorf("stderr missing -j error:\n%s", stderr.String())
+	}
+}
+
 // TestSuiteCoversRegisteredExperiments pins that each suite entry is
 // reachable as a subcommand spelled exactly like its "all" entry.
 func TestSuiteNamesUnique(t *testing.T) {
@@ -103,6 +121,60 @@ func TestFig7UnderFatalFaultsExitsOneWithResults(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "OOM/faulted/panicked") {
 		t.Errorf("stderr missing degraded-suite notice:\n%s", stderr.String())
+	}
+}
+
+// TestBenchDiffSubcommand exercises the diff mode end-to-end: write two
+// BENCH files, diff them report-only (exit 0) and strict (exit 1).
+func TestBenchDiffSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "BENCH_old.json")
+	newPath := filepath.Join(dir, "BENCH_new.json")
+	oldRep := &perf.Report{Schema: perf.Schema, Rev: "old", Jobs: 1, TotalNS: 100,
+		Benchmarks: []perf.Benchmark{{Name: "minor_gc_scavenge", NsPerOp: 100, AllocsPerOp: 0}}}
+	newRep := &perf.Report{Schema: perf.Schema, Rev: "new", Jobs: 1, TotalNS: 100,
+		Benchmarks: []perf.Benchmark{{Name: "minor_gc_scavenge", NsPerOp: 100, AllocsPerOp: 3}}}
+	if err := oldRep.WriteFile(oldPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := newRep.WriteFile(newPath); err != nil {
+		t.Fatal(err)
+	}
+
+	var stdout, stderr strings.Builder
+	if code := run([]string{"bench", "diff", oldPath, newPath}, &stdout, &stderr); code != 0 {
+		t.Fatalf("report-only diff exit = %d, want 0 (stderr:\n%s)", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "bench-allocs") {
+		t.Errorf("diff output missing bench-allocs regression:\n%s", stdout.String())
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-strict", "bench", "diff", oldPath, newPath}, &stdout, &stderr); code != 1 {
+		t.Fatalf("strict diff exit = %d, want 1", code)
+	}
+
+	// Identical files: clean both ways.
+	stdout.Reset()
+	if code := run([]string{"-strict", "bench", "diff", oldPath, oldPath}, &stdout, &stderr); code != 0 {
+		t.Fatalf("self-diff exit = %d, want 0", code)
+	}
+	if !strings.Contains(stdout.String(), "no regressions") {
+		t.Errorf("self-diff output:\n%s", stdout.String())
+	}
+}
+
+// TestBenchDiffUsageErrors: missing operands and unreadable files are
+// usage errors (exit 2), not panics.
+func TestBenchDiffUsageErrors(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"bench", "diff"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("missing operands exit = %d, want 2", code)
+	}
+	stderr.Reset()
+	if code := run([]string{"bench", "diff", "/nonexistent/a.json", "/nonexistent/b.json"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unreadable files exit = %d, want 2", code)
 	}
 }
 

@@ -127,16 +127,50 @@ type object struct {
 	numRefs int
 }
 
+// Verifier runs the PS invariant rules with reusable scratch state, so a
+// collector that verifies after every cycle (TH_VERIFY=1) amortizes the
+// maps, object lists and BFS queue across runs instead of reallocating
+// them each pause.
+type Verifier struct {
+	starts  map[vm.Addr]object
+	objs    []object // arena for per-space object lists
+	visited map[vm.Addr]bool
+	queue   []vm.Addr
+	want    []vm.Addr
+	isStart func(vm.Addr) bool // pre-built closure over starts
+}
+
+// NewVerifier returns a Verifier with empty scratch state.
+func NewVerifier() *Verifier {
+	vr := &Verifier{
+		starts:  make(map[vm.Addr]object),
+		visited: make(map[vm.Addr]bool),
+	}
+	vr.isStart = func(a vm.Addr) bool {
+		_, ok := vr.starts[a]
+		return ok
+	}
+	return vr
+}
+
+// VerifyPS runs every invariant rule against a quiescent (outside-pause)
+// PS heap and returns all violations found. One-shot convenience over
+// (*Verifier).VerifyPS.
+func VerifyPS(v PSView) []Failure { return NewVerifier().VerifyPS(v) }
+
 // VerifyPS runs every invariant rule against a quiescent (outside-pause)
 // PS heap and returns all violations found.
-func VerifyPS(v PSView) []Failure {
+func (vr *Verifier) VerifyPS(v PSView) []Failure {
 	var failures []Failure
 	report := func(f Failure) { failures = append(failures, f) }
 
-	starts := make(map[vm.Addr]*object)
-	walkSpace(v, v.H1.Eden, "eden", starts, report)
-	walkSpace(v, v.H1.From, "from", starts, report)
-	old := walkSpace(v, v.H1.Old, "old", starts, report)
+	clear(vr.starts)
+	vr.objs = vr.objs[:0]
+	vr.walkSpace(v, v.H1.Eden, "eden", report)
+	vr.walkSpace(v, v.H1.From, "from", report)
+	oldStart := len(vr.objs)
+	vr.walkSpace(v, v.H1.Old, "old", report)
+	old := vr.objs[oldStart:]
 
 	// To-space must be empty between pauses: scavenge swaps survivors
 	// after copying, major GC empties the young generation entirely.
@@ -145,15 +179,12 @@ func VerifyPS(v PSView) []Failure {
 			Detail: fmt.Sprintf("to-space holds %d bytes outside a GC pause", v.H1.To.Used())})
 	}
 
-	verifyReachable(v, starts, report)
+	vr.verifyReachable(v, report)
 	verifyOldCards(v, old, report)
-	verifyStartArray(v, old, report)
+	vr.verifyStartArray(v, old, report)
 
 	if v.H2 != nil {
-		v.H2.VerifySelf(v.H1.InYoung, func(a vm.Addr) bool {
-			_, ok := starts[a]
-			return ok
-		}, report)
+		v.H2.VerifySelf(v.H1.InYoung, vr.isStart, report)
 	}
 
 	VerifyClock(v.Clock, report)
@@ -181,9 +212,8 @@ func VerifyClock(clock *simclock.Clock, report func(Failure)) {
 
 // walkSpace parse-walks [sp.Start, sp.Top), validating every header and
 // checking that the walked sizes sum exactly to sp.Used(). Each valid
-// object is recorded in starts.
-func walkSpace(v PSView, sp *vm.Space, name string, starts map[vm.Addr]*object, report func(Failure)) []object {
-	var objs []object
+// object is recorded in vr.starts and appended to the vr.objs arena.
+func (vr *Verifier) walkSpace(v PSView, sp *vm.Space, name string, report func(Failure)) {
 	var sumWords int64
 	a := sp.Start
 	for a < sp.Top {
@@ -192,7 +222,7 @@ func walkSpace(v PSView, sp *vm.Space, name string, starts map[vm.Addr]*object, 
 			report(Failure{Rule: "h1-forwarding-outside-pause", Space: name, Region: -1, Card: -1,
 				Holder: a, Field: -1,
 				Detail: fmt.Sprintf("forwarding pointer to %v survives outside a GC pause", vm.StatusForwardee(status))})
-			return objs // cannot parse past a clobbered header
+			return // cannot parse past a clobbered header
 		}
 		if status&(vm.FlagMark|vm.FlagClosure) != 0 {
 			report(Failure{Rule: "h1-stale-gc-bits", Space: name, Region: -1, Card: -1,
@@ -204,7 +234,7 @@ func walkSpace(v PSView, sp *vm.Space, name string, starts map[vm.Addr]*object, 
 			report(Failure{Rule: "h1-bad-class", Space: name, Region: -1, Card: -1,
 				Holder: a, Field: -1,
 				Detail: fmt.Sprintf("class id %d out of range [1, %d)", cid, v.Classes.Len())})
-			return objs
+			return
 		}
 		shape := v.AS.Peek(a + vm.WordSize)
 		size := vm.ShapeSizeWords(shape)
@@ -213,17 +243,18 @@ func walkSpace(v PSView, sp *vm.Space, name string, starts map[vm.Addr]*object, 
 			report(Failure{Rule: "h1-bad-shape", Space: name, Region: -1, Card: -1,
 				Holder: a, Field: -1,
 				Detail: fmt.Sprintf("size %d words, %d refs is not a valid shape", size, numRefs)})
-			return objs
+			return
 		}
 		end := a + vm.Addr(size*vm.WordSize)
 		if end > sp.Top {
 			report(Failure{Rule: "h1-object-overruns-top", Space: name, Region: -1, Card: -1,
 				Holder: a, Field: -1,
 				Detail: fmt.Sprintf("object end %v exceeds space top %v", end, sp.Top)})
-			return objs
+			return
 		}
-		objs = append(objs, object{addr: a, size: size, numRefs: numRefs})
-		starts[a] = &objs[len(objs)-1]
+		o := object{addr: a, size: size, numRefs: numRefs}
+		vr.objs = append(vr.objs, o)
+		vr.starts[a] = o
 		sumWords += int64(size)
 		a = end
 	}
@@ -231,15 +262,15 @@ func walkSpace(v PSView, sp *vm.Space, name string, starts map[vm.Addr]*object, 
 		report(Failure{Rule: "h1-accounting", Space: name, Region: -1, Card: -1, Field: -1,
 			Detail: fmt.Sprintf("walked object bytes %d != Used() %d", got, want)})
 	}
-	return objs
 }
 
 // verifyReachable BFS-walks the object graph from the root set, checking
 // that every reference field of every reachable H1 object targets null, a
 // valid H1 object start, or an allocated H2 address.
-func verifyReachable(v PSView, starts map[vm.Addr]*object, report func(Failure)) {
-	visited := make(map[vm.Addr]bool)
-	var queue []vm.Addr
+func (vr *Verifier) verifyReachable(v PSView, report func(Failure)) {
+	clear(vr.visited)
+	visited := vr.visited
+	queue := vr.queue[:0]
 	push := func(a vm.Addr) {
 		if !visited[a] {
 			visited[a] = true
@@ -258,7 +289,7 @@ func verifyReachable(v PSView, starts map[vm.Addr]*object, report func(Failure))
 				report(Failure{Rule: "root-dangling-h2", Space: "roots", Region: -1, Card: -1, Field: rootIdx,
 					Detail: fmt.Sprintf("root handle %d targets unallocated H2 address %v", rootIdx, a)})
 			}
-		} else if _, ok := starts[a]; !ok {
+		} else if _, ok := vr.starts[a]; !ok {
 			report(Failure{Rule: "root-dangling", Space: "roots", Region: -1, Card: -1, Field: rootIdx,
 				Detail: fmt.Sprintf("root handle %d targets %v, not a valid H1 object start", rootIdx, a)})
 		} else {
@@ -269,7 +300,7 @@ func verifyReachable(v PSView, starts map[vm.Addr]*object, report func(Failure))
 	for len(queue) > 0 {
 		a := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
-		o := starts[a]
+		o := vr.starts[a]
 		for i := 0; i < o.numRefs; i++ {
 			t := vm.Addr(v.AS.Peek(a + vm.Addr((vm.HeaderWords+i)*vm.WordSize)))
 			if t.IsNull() {
@@ -283,7 +314,7 @@ func verifyReachable(v PSView, starts map[vm.Addr]*object, report func(Failure))
 				}
 				continue // H2 interiors are verified by H2.VerifySelf
 			}
-			if _, ok := starts[t]; !ok {
+			if _, ok := vr.starts[t]; !ok {
 				rule := "ref-dangling"
 				detail := fmt.Sprintf("reference targets %v, not a valid object start", t)
 				if v.AS.Resolve(t) == nil {
@@ -297,6 +328,7 @@ func verifyReachable(v PSView, starts map[vm.Addr]*object, report func(Failure))
 			push(t)
 		}
 	}
+	vr.queue = queue[:0]
 }
 
 // verifyOldCards checks that every old-generation object holding a young
@@ -324,13 +356,20 @@ func verifyOldCards(v PSView, old []object, report func(Failure)) {
 // verifyStartArray checks that startArray[i] is exactly the lowest object
 // header starting in card i, and null for cards where no object starts
 // (rule (b), second half).
-func verifyStartArray(v PSView, old []object, report func(Failure)) {
+func (vr *Verifier) verifyStartArray(v PSView, old []object, report func(Failure)) {
 	if v.StartArray == nil {
 		return
 	}
 	cards := v.H1.Cards
 	n := cards.NumCards()
-	want := make([]vm.Addr, n)
+	want := vr.want
+	if cap(want) < n {
+		want = make([]vm.Addr, n)
+	} else {
+		want = want[:n]
+		clear(want)
+	}
+	vr.want = want
 	for i := range old {
 		a := old[i].addr
 		ci := cards.Index(a)

@@ -30,21 +30,109 @@ type region struct {
 	objects int64
 
 	buf promoBuffer
+
+	// resv is the FIFO queue of PrepareMove reservations not yet committed
+	// (consistency checking). Commits arrive in reservation order per
+	// region — the minor GC drains its H2 move queue FIFO and the major GC
+	// assigns and commits destinations in the same space walk order — so
+	// the head-match path is O(1); the linear fallback only runs if an
+	// earlier reservation leaked. resvHead indexes the first outstanding
+	// entry.
+	resv     []reservation
+	resvHead int
+}
+
+// reservation is one outstanding PrepareMove: an address and its size.
+type reservation struct {
+	addr  vm.Addr
+	words int32
+}
+
+// takeReservation consumes the reservation for dst, returning its size.
+func (r *region) takeReservation(dst vm.Addr) (int, bool) {
+	q := r.resv
+	if r.resvHead < len(q) && q[r.resvHead].addr == dst {
+		w := int(q[r.resvHead].words)
+		r.resvHead++
+		if r.resvHead == len(q) {
+			r.resv = q[:0]
+			r.resvHead = 0
+		}
+		return w, true
+	}
+	for i := r.resvHead; i < len(q); i++ {
+		if q[i].addr == dst {
+			w := int(q[i].words)
+			copy(q[i:], q[i+1:])
+			r.resv = q[:len(q)-1]
+			return w, true
+		}
+	}
+	return 0, false
+}
+
+// pendingResv returns the number of outstanding reservations.
+func (r *region) pendingResv() int { return len(r.resv) - r.resvHead }
+
+// openLabel is one entry of the open-region-per-label table.
+type openLabel struct {
+	label uint64
+	id    int
+}
+
+// lookupOpen returns the open region id for label.
+func (th *TeraHeap) lookupOpen(label uint64) (int, bool) {
+	for i := range th.openByLabel {
+		if th.openByLabel[i].label == label {
+			return th.openByLabel[i].id, true
+		}
+	}
+	return 0, false
+}
+
+// setOpen records label's open region, replacing any previous entry.
+func (th *TeraHeap) setOpen(label uint64, id int) {
+	for i := range th.openByLabel {
+		if th.openByLabel[i].label == label {
+			th.openByLabel[i].id = id
+			return
+		}
+	}
+	th.openByLabel = append(th.openByLabel, openLabel{label: label, id: id})
+}
+
+// deleteOpen removes label's entry if it still points at id.
+func (th *TeraHeap) deleteOpen(label uint64, id int) {
+	for i := range th.openByLabel {
+		if th.openByLabel[i].label == label {
+			if th.openByLabel[i].id == id {
+				last := len(th.openByLabel) - 1
+				th.openByLabel[i] = th.openByLabel[last]
+				th.openByLabel = th.openByLabel[:last]
+			}
+			return
+		}
+	}
 }
 
 func (r *region) used() int64 { return int64(r.top - r.start) }
 func (r *region) empty() bool { return r.top == r.start }
 
 // promoBuffer stages object images bound for this region until a batched
-// asynchronous flush (the paper's 2 MB promotion buffer, §3.2).
+// asynchronous flush (the paper's 2 MB promotion buffer, §3.2). Images are
+// copied into a flat word arena at CommitMove time, so callers may reuse
+// their image buffers; both backing arrays are retained across GC cycles.
 type promoBuffer struct {
-	writes       []stagedWrite
+	words        []uint64 // flat arena of staged image words
+	recs         []bufRec
 	pendingBytes int64
 }
 
-type stagedWrite struct {
-	word int64
-	data []uint64
+// bufRec locates one staged image: its H2 word index and its [off, off+n)
+// span in the arena.
+type bufRec struct {
+	word   int64
+	off, n int
 }
 
 // regionOf returns the region containing a, or nil.
@@ -97,10 +185,8 @@ func (th *TeraHeap) PrepareMove(label uint64, sizeWords int) (vm.Addr, bool) {
 	if r.segFirst[seg].IsNull() {
 		r.segFirst[seg] = a
 	}
-	if th.reserved == nil {
-		th.reserved = make(map[vm.Addr]int)
-	}
-	th.reserved[a] = sizeWords
+	r.resv = append(r.resv, reservation{addr: a, words: int32(sizeWords)})
+	th.reservedCount++
 	th.stats.ObjectsMoved++
 	th.stats.BytesMoved += int64(need)
 	return a, true
@@ -109,7 +195,7 @@ func (th *TeraHeap) PrepareMove(label uint64, sizeWords int) (vm.Addr, bool) {
 // openRegion returns a region labelled label with room for need bytes,
 // opening a new one if necessary.
 func (th *TeraHeap) openRegion(label uint64, need vm.Addr) *region {
-	if id, ok := th.openByLabel[label]; ok {
+	if id, ok := th.lookupOpen(label); ok {
 		r := th.regions[id]
 		if r.top+need <= r.end {
 			return r
@@ -121,7 +207,7 @@ func (th *TeraHeap) openRegion(label uint64, need vm.Addr) *region {
 	}
 	r.label = label
 	r.live = true // protect the receiving region for this cycle
-	th.openByLabel[label] = r.id
+	th.setOpen(label, r.id)
 	return r
 }
 
@@ -159,13 +245,15 @@ func (th *TeraHeap) CommitMove(dst vm.Addr, image []uint64) {
 	if r == nil {
 		panic(fmt.Sprintf("core: CommitMove outside H2 (%v)", dst))
 	}
-	if want, ok := th.reserved[dst]; !ok {
+	if want, ok := r.takeReservation(dst); !ok {
 		panic(fmt.Sprintf("core: CommitMove to unreserved %v (%d words)", dst, len(image)))
 	} else if want != len(image) {
 		panic(fmt.Sprintf("core: CommitMove size mismatch at %v: reserved %d, image %d", dst, want, len(image)))
 	}
-	delete(th.reserved, dst)
-	r.buf.writes = append(r.buf.writes, stagedWrite{word: dst.Word(vm.H2Base), data: image})
+	th.reservedCount--
+	off := len(r.buf.words)
+	r.buf.words = append(r.buf.words, image...)
+	r.buf.recs = append(r.buf.recs, bufRec{word: dst.Word(vm.H2Base), off: off, n: len(image)})
 	r.buf.pendingBytes += int64(len(image)) * vm.WordSize
 	if r.buf.pendingBytes >= th.cfg.PromotionBufferBytes {
 		th.flushRegion(r)
@@ -176,8 +264,8 @@ func (th *TeraHeap) flushRegion(r *region) {
 	if r.buf.pendingBytes == 0 {
 		return
 	}
-	for _, w := range r.buf.writes {
-		th.mapped.StageWords(w.word, w.data)
+	for _, rec := range r.buf.recs {
+		th.mapped.StageWords(rec.word, r.buf.words[rec.off:rec.off+rec.n])
 	}
 	th.mapped.ChargeAsyncWrite(r.buf.pendingBytes)
 	if th.inj.TornFlush() {
@@ -186,13 +274,14 @@ func (th *TeraHeap) flushRegion(r *region) {
 		// whole batch: stage the words again and pay the device a second
 		// time. Idempotent on contents, visible only in time and counters.
 		th.stats.TornFlushReplays++
-		for _, w := range r.buf.writes {
-			th.mapped.StageWords(w.word, w.data)
+		for _, rec := range r.buf.recs {
+			th.mapped.StageWords(rec.word, r.buf.words[rec.off:rec.off+rec.n])
 		}
 		th.mapped.ChargeAsyncWrite(r.buf.pendingBytes)
 	}
 	th.stats.BufferFlushes++
-	r.buf.writes = r.buf.writes[:0]
+	r.buf.words = r.buf.words[:0]
+	r.buf.recs = r.buf.recs[:0]
 	r.buf.pendingBytes = 0
 }
 
@@ -280,9 +369,15 @@ func (th *TeraHeap) freeDeadRegions() {
 		return
 	}
 
-	// Propagate liveness along dependency edges.
-	var stack []int
-	reached := make(map[int]bool)
+	// Propagate liveness along dependency edges. The scratch slices live on
+	// th so the per-major-GC reachability pass does not allocate once the
+	// region array stops growing.
+	if cap(th.reachScratch) < len(th.regions) {
+		th.reachScratch = make([]bool, len(th.regions))
+	}
+	reached := th.reachScratch[:len(th.regions)]
+	clear(reached)
+	stack := th.stackScratch[:0]
 	for _, r := range th.regions {
 		if r != nil && r.live && !r.empty() {
 			stack = append(stack, r.id)
@@ -299,6 +394,7 @@ func (th *TeraHeap) freeDeadRegions() {
 			}
 		}
 	}
+	th.stackScratch = stack
 	for _, r := range th.regions {
 		if r == nil || r.empty() {
 			continue
@@ -318,9 +414,7 @@ func (th *TeraHeap) freeRegion(r *region) {
 	th.stats.RegionSnapshots = append(th.stats.RegionSnapshots, RegionSnapshot{
 		RegionID: r.id, Reclaimed: true, LiveObjectsPct: 0, LiveSpacePct: 0,
 	})
-	if id, ok := th.openByLabel[r.label]; ok && id == r.id {
-		delete(th.openByLabel, r.label)
-	}
+	th.deleteOpen(r.label, r.id)
 	th.mapped.InvalidateWords(r.start.Word(vm.H2Base), r.used()/vm.WordSize)
 	th.mapped.ZeroWords(r.start.Word(vm.H2Base), r.used()/vm.WordSize)
 	firstSeg := th.segmentOf(r.start)
@@ -337,15 +431,19 @@ func (th *TeraHeap) freeRegion(r *region) {
 	r.groupLive = false
 	r.objects = 0
 	r.deps = make(map[int]struct{})
-	r.buf.writes = r.buf.writes[:0]
+	r.buf.words = r.buf.words[:0]
+	r.buf.recs = r.buf.recs[:0]
 	r.buf.pendingBytes = 0
+	th.reservedCount -= r.pendingResv()
+	r.resv = r.resv[:0]
+	r.resvHead = 0
 	th.freeRegions = append(th.freeRegions, r.id)
 }
 
 // PendingReservations returns the number of PrepareMove reservations not
 // yet committed. Outside a GC cycle it must be zero: a nonzero value means
 // a reservation leaked (tests and the H2-exhaustion fallback coverage).
-func (th *TeraHeap) PendingReservations() int { return len(th.reserved) }
+func (th *TeraHeap) PendingReservations() int { return th.reservedCount }
 
 // UsedBytes returns the bytes currently allocated in H2.
 func (th *TeraHeap) UsedBytes() int64 {

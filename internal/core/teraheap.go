@@ -110,21 +110,34 @@ type TeraHeap struct {
 
 	regions     []*region
 	freeRegions []int
-	openByLabel map[uint64]int
+	// openByLabel maps a label to its currently open region. Only a handful
+	// of label chains are ever open at once, so a linear-scan slice beats a
+	// map on the per-promoted-object openRegion path (and tolerates the
+	// placement-policy bit in the label domain).
+	openByLabel []openLabel
 
 	cards *cardTable
 
-	tagged      []gc.TaggedRoot
-	moveAdvised map[uint64]bool
+	tagged []gc.TaggedRoot
+	// moveAdvised is a dense bitset indexed by label: frameworks assign
+	// small sequential labels (RDD ids, superstep counters), and MoveOnMinor
+	// is consulted once per scavenged object, so the lookup must not hash.
+	// moveAdvisedBig catches the (unused in practice) huge-label tail.
+	moveAdvised    []bool
+	moveAdvisedBig map[uint64]bool
 
 	// Threshold policy state.
 	forceMove    bool
 	pressureLive int64 // live-byte estimate backing the current arming
 	pressureCap  int64 // old-generation capacity at arming time
 
-	// reserved tracks PrepareMove reservations until their CommitMove
-	// (consistency checking).
-	reserved map[vm.Addr]int
+	// reservedCount tracks outstanding PrepareMove reservations across all
+	// regions (each region holds its own FIFO reservation queue).
+	reservedCount int
+
+	// Reusable scratch for freeDeadRegions' reachability pass.
+	reachScratch []bool
+	stackScratch []int
 
 	// Dynamic-threshold controller state.
 	consecTrips int
@@ -199,11 +212,9 @@ func NewChecked(cfg Config, dev *storage.Device, as *vm.AddressSpace, clock *sim
 	cfg.H2Size = numRegions * cfg.RegionSize
 
 	th := &TeraHeap{
-		cfg:         cfg,
-		clock:       clock,
-		mapped:      storage.NewMappedFile(dev, cfg.H2Size, cfg.PageSize, cfg.CacheBytes),
-		openByLabel: make(map[uint64]int),
-		moveAdvised: make(map[uint64]bool),
+		cfg:    cfg,
+		clock:  clock,
+		mapped: storage.NewMappedFile(dev, cfg.H2Size, cfg.PageSize, cfg.CacheBytes),
 	}
 	as.Map(vm.H2Base, vm.H2Base+vm.Addr(cfg.H2Size), mappedMemory{f: th.mapped})
 	th.cards = newCardTable(cfg, int(numRegions))
@@ -261,8 +272,37 @@ func (th *TeraHeap) Move(label uint64) {
 	if !th.cfg.EnableMoveHint {
 		return
 	}
-	th.moveAdvised[label] = true
+	th.setAdvised(label)
 	th.stats.MoveHints++
+}
+
+// denseLabelLimit bounds the dense advised bitset; labels above it (never
+// produced by the in-tree frameworks) spill to the overflow map.
+const denseLabelLimit = 1 << 20
+
+// setAdvised records label's move hint.
+func (th *TeraHeap) setAdvised(label uint64) {
+	if label < denseLabelLimit {
+		if label >= uint64(len(th.moveAdvised)) {
+			grown := make([]bool, label+1)
+			copy(grown, th.moveAdvised)
+			th.moveAdvised = grown
+		}
+		th.moveAdvised[label] = true
+		return
+	}
+	if th.moveAdvisedBig == nil {
+		th.moveAdvisedBig = make(map[uint64]bool)
+	}
+	th.moveAdvisedBig[label] = true
+}
+
+// advised reports whether label's move hint was recorded.
+func (th *TeraHeap) advised(label uint64) bool {
+	if label < uint64(len(th.moveAdvised)) {
+		return th.moveAdvised[label]
+	}
+	return th.moveAdvisedBig != nil && th.moveAdvisedBig[label]
 }
 
 // --- gc.SecondHeap: mutator-side --------------------------------------------
@@ -285,12 +325,12 @@ func (th *TeraHeap) DirtyCard(a vm.Addr) {
 // movement under pressure runs through the major-GC closure instead,
 // where advised groups go first and the budget applies).
 func (th *TeraHeap) MoveOnMinor(label uint64) bool {
-	return th.cfg.EnableMoveHint && th.moveAdvised[label]
+	return th.cfg.EnableMoveHint && th.advised(label)
 }
 
 // Advised reports whether label's move hint was issued.
 func (th *TeraHeap) Advised(label uint64) bool {
-	return th.cfg.EnableMoveHint && th.moveAdvised[label]
+	return th.cfg.EnableMoveHint && th.advised(label)
 }
 
 // ShouldMoveLabel implements the hint + high/low threshold policy: an
@@ -299,7 +339,7 @@ func (th *TeraHeap) Advised(label uint64) bool {
 // above the relief target — the low threshold when set, otherwise the
 // high threshold.
 func (th *TeraHeap) ShouldMoveLabel(label uint64, selectedWords int64) bool {
-	if th.cfg.EnableMoveHint && th.moveAdvised[label] {
+	if th.cfg.EnableMoveHint && th.advised(label) {
 		return true
 	}
 	if !th.forceMove {

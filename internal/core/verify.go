@@ -28,10 +28,15 @@ func (th *TeraHeap) VerifySelf(isYoung func(vm.Addr) bool, validH1 func(vm.Addr)
 	}
 
 	// No reservation or staged promotion-buffer write may survive a pause.
-	for a, words := range th.reserved {
-		report(check.Failure{Rule: "h2-reservation-leak", Space: "h2",
-			Region: th.regionOf(a).id, Card: -1, Holder: a, Field: -1,
-			Detail: fmt.Sprintf("%d-word reservation never committed", words)})
+	for _, r := range th.regions {
+		if r == nil {
+			continue
+		}
+		for i := r.resvHead; i < len(r.resv); i++ {
+			report(check.Failure{Rule: "h2-reservation-leak", Space: "h2",
+				Region: r.id, Card: -1, Holder: r.resv[i].addr, Field: -1,
+				Detail: fmt.Sprintf("%d-word reservation never committed", r.resv[i].words)})
+		}
 	}
 
 	// Pass 1: parse every allocated region, validating headers, segFirst
@@ -41,10 +46,10 @@ func (th *TeraHeap) VerifySelf(isYoung func(vm.Addr) bool, validH1 func(vm.Addr)
 		if r == nil {
 			continue
 		}
-		if r.buf.pendingBytes != 0 || len(r.buf.writes) != 0 {
+		if r.buf.pendingBytes != 0 || len(r.buf.recs) != 0 {
 			report(check.Failure{Rule: "h2-promo-buffer-not-flushed", Space: "h2",
 				Region: r.id, Card: -1, Field: -1,
-				Detail: fmt.Sprintf("%d bytes (%d writes) staged outside a GC pause", r.buf.pendingBytes, len(r.buf.writes))})
+				Detail: fmt.Sprintf("%d bytes (%d writes) staged outside a GC pause", r.buf.pendingBytes, len(r.buf.recs))})
 		}
 		if r.empty() {
 			continue

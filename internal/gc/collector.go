@@ -9,7 +9,6 @@ package gc
 import (
 	"fmt"
 	"os"
-	"sort"
 	"time"
 
 	"github.com/carv-repro/teraheap-go/internal/check"
@@ -125,11 +124,34 @@ type Collector struct {
 	inj *fault.Injector
 	flt *FaultError
 
-	// scavWorklist and scavH2Moves are the scavenger's per-cycle buffers,
-	// kept on the collector so repeated minor GCs reuse their backing
-	// arrays instead of reallocating (and re-growing) them every cycle.
-	scavWorklist []vm.Addr
-	scavH2Moves  []pendingH2Move
+	// scav is the persistent scavenger: its worklist and move-queue
+	// backing arrays are grown once and reused, so a steady-state minor GC
+	// performs no heap allocation. scavBackVisit and isYoungFn are the
+	// pre-built closures handed to the backward-reference scan (building
+	// them per cycle would allocate), and imageBuf is the reusable staging
+	// buffer for H2-bound object images (CommitMove copies it into the
+	// promotion-buffer arena, so it is safe to reuse per object).
+	scav          scavenger
+	scavBackVisit func(uint64, vm.Addr) vm.Addr
+	isYoungFn     func(vm.Addr) bool
+	imageBuf      []uint64
+
+	// Major-GC scratch, reused across cycles: mark-phase buffers, the
+	// precompaction live-object and destination arrays, and the forwarding
+	// table backing arrays.
+	majBacks   []backRef
+	majClosure []vm.Addr
+	majStack   []vm.Addr
+	preYoung   []vm.Addr
+	preOld     []vm.Addr
+	youngDst   []vm.Addr
+	oldDst     []vm.Addr
+	fwState    forwarding
+
+	// verifier holds the invariant verifier's reusable scratch (maps,
+	// queues, parsed-object arrays) so TH_VERIFY=1 runs do not rebuild
+	// them around every GC.
+	verifier *check.Verifier
 
 	// barrierEnabled mirrors the paper's EnableTeraHeap flag: when false,
 	// the extra H2 range check in the post-write barrier is compiled out.
@@ -170,6 +192,14 @@ func NewWithHeap(h1 *heap.H1, costs CostParams, as *vm.AddressSpace, classes *vm
 		startArray:     make([]vm.Addr, h1.Cards.NumCards()),
 		barrierEnabled: !noTH,
 	}
+	c.scav.c = c
+	c.scavBackVisit = func(_ uint64, t vm.Addr) vm.Addr {
+		if c.H1.InYoung(t) {
+			return c.scav.copyYoung(t)
+		}
+		return t
+	}
+	c.isYoungFn = c.H1.InYoung
 	if os.Getenv("TH_VERIFY") == "1" {
 		c.SetVerify(true)
 	}
@@ -245,7 +275,10 @@ func (c *Collector) VerifyNow() []check.Failure {
 	if h2, ok := c.TH.(check.H2); ok {
 		v.H2 = h2
 	}
-	return check.VerifyPS(v)
+	if c.verifier == nil {
+		c.verifier = check.NewVerifier()
+	}
+	return c.verifier.VerifyPS(v)
 }
 
 // runVerify panics with a structured report if any invariant is violated;
@@ -452,11 +485,21 @@ func (c *Collector) chargeGC(cat simclock.Category, d time.Duration, threads int
 }
 
 // adjustRef computes the post-compaction address for ref using the sorted
-// forwarding tables built in the precompaction phase.
+// forwarding tables built in the precompaction phase. The binary search is
+// hand-rolled: sort.Search would force the comparison through a closure on
+// the hottest loop of the adjust phase.
 func adjustRef(src, dst []vm.Addr, ref vm.Addr) (vm.Addr, bool) {
-	i := sort.Search(len(src), func(i int) bool { return src[i] >= ref })
-	if i < len(src) && src[i] == ref {
-		return dst[i], true
+	lo, hi := 0, len(src)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if src[mid] < ref {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(src) && src[lo] == ref {
+		return dst[lo], true
 	}
 	return vm.NullAddr, false
 }

@@ -2,7 +2,6 @@ package gc
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"github.com/carv-repro/teraheap-go/internal/simclock"
@@ -72,6 +71,13 @@ func (c *Collector) MajorGC() error {
 	return nil
 }
 
+// backRef records one H2-to-H1 backward reference gathered at the start
+// of marking: the holder region's label and the H1 target.
+type backRef struct {
+	label  uint64
+	target vm.Addr
+}
+
 // markState carries mark-phase results into precompaction.
 type markState struct {
 	objectsMarked int64
@@ -100,18 +106,15 @@ func (c *Collector) majorMark(cy *Cycle) *markState {
 	// Gather backward references first: their targets are both GC roots
 	// and, when the holder region's label is move-advised, stragglers
 	// that belong to an already-moved object group.
-	type backRef struct {
-		label  uint64
-		target vm.Addr
-	}
-	var backs []backRef
+	backs := c.majBacks[:0]
 	c.TH.ScanBackwardRefs(true, func(label uint64, t vm.Addr) vm.Addr {
 		backs = append(backs, backRef{label: label, target: t})
 		return t
 	}, c.H1.InYoung)
+	c.majBacks = backs[:0]
 
 	// Closure selection: BFS setting the closure bit and label.
-	var closureStack []vm.Addr
+	closureStack := c.majClosure
 	selectClosure := func(root vm.Addr, label uint64) {
 		closureStack = append(closureStack[:0], root)
 		for len(closureStack) > 0 {
@@ -172,16 +175,21 @@ func (c *Collector) majorMark(cy *Cycle) *markState {
 	}
 	selectCandidates(true)
 
-	// Mark from roots.
-	var stack []vm.Addr
-	push := func(a vm.Addr) {
-		if !a.IsNull() {
+	// Mark from roots. Direct iteration and an inline stack keep the mark
+	// loop free of per-cycle closure allocations.
+	stack := c.majStack[:0]
+	for _, h := range c.Roots.Handles() {
+		if h == nil {
+			continue
+		}
+		if a := h.Addr(); !a.IsNull() {
 			stack = append(stack, a)
 		}
 	}
-	c.Roots.ForEach(func(h *vm.Handle) { push(h.Addr()) })
 	for _, b := range backs {
-		push(b.target)
+		if !b.target.IsNull() {
+			stack = append(stack, b.target)
+		}
 	}
 
 	for len(stack) > 0 {
@@ -206,10 +214,11 @@ func (c *Collector) majorMark(cy *Cycle) *markState {
 		for i := 0; i < n; i++ {
 			if t := m.RefAt(o, i); !t.IsNull() {
 				st.refsTraversed++
-				push(t)
+				stack = append(stack, t)
 			}
 		}
 	}
+	c.majStack = stack[:0]
 
 	// With the exact live volume known — minus what the advised closures
 	// already take to H2 — evaluate the threshold policy and run the
@@ -220,6 +229,7 @@ func (c *Collector) majorMark(cy *Cycle) *markState {
 	c.TH.EvaluatePressure(residual, c.H1.Old.Capacity())
 	selectCandidates(true)
 	selectCandidates(false)
+	c.majClosure = closureStack[:0]
 	return st
 }
 
@@ -244,12 +254,27 @@ func (f *forwarding) inH2(i int) bool { return vm.InH2(f.dst[i]) }
 // never overwrite unprocessed sources.
 func (c *Collector) majorPrecompact(mk *markState, cy *Cycle) (*forwarding, error) {
 	m := c.Mem
-	fw := &forwarding{}
+	fw := &c.fwState
+	fw.src = fw.src[:0]
+	fw.dst = fw.dst[:0]
+	fw.oldStartIdx = 0
+	fw.oldTop = vm.NullAddr
 
-	// Collect live objects in address order: young spaces then old.
-	youngSpaces := []*vm.Space{c.H1.Eden, c.H1.From, c.H1.To}
-	sort.Slice(youngSpaces, func(i, j int) bool { return youngSpaces[i].Start < youngSpaces[j].Start })
-	var youngLive, oldLive []vm.Addr
+	// Collect live objects in address order: young spaces then old. The
+	// three young spaces are ordered by a fixed sorting network instead of
+	// sort.Slice (which allocates its closure and interface header).
+	youngSpaces := [3]*vm.Space{c.H1.Eden, c.H1.From, c.H1.To}
+	if youngSpaces[0].Start > youngSpaces[1].Start {
+		youngSpaces[0], youngSpaces[1] = youngSpaces[1], youngSpaces[0]
+	}
+	if youngSpaces[1].Start > youngSpaces[2].Start {
+		youngSpaces[1], youngSpaces[2] = youngSpaces[2], youngSpaces[1]
+	}
+	if youngSpaces[0].Start > youngSpaces[1].Start {
+		youngSpaces[0], youngSpaces[1] = youngSpaces[1], youngSpaces[0]
+	}
+	youngLive := c.preYoung[:0]
+	oldLive := c.preOld[:0]
 	for _, sp := range youngSpaces {
 		sp.Walk(m, func(a vm.Addr) {
 			if m.Marked(a) {
@@ -262,6 +287,8 @@ func (c *Collector) majorPrecompact(mk *markState, cy *Cycle) (*forwarding, erro
 			oldLive = append(oldLive, a)
 		}
 	})
+	c.preYoung = youngLive[:0]
+	c.preOld = oldLive[:0]
 
 	oldTop := c.H1.Old.Start
 	assign := func(a vm.Addr) (vm.Addr, error) {
@@ -289,7 +316,7 @@ func (c *Collector) majorPrecompact(mk *markState, cy *Cycle) (*forwarding, erro
 	}
 
 	// Old first (dst <= src within the old space), then young.
-	oldDst := make([]vm.Addr, len(oldLive))
+	oldDst := growAddrs(c.oldDst, len(oldLive))
 	for i, a := range oldLive {
 		d, err := assign(a)
 		if err != nil {
@@ -297,7 +324,7 @@ func (c *Collector) majorPrecompact(mk *markState, cy *Cycle) (*forwarding, erro
 		}
 		oldDst[i] = d
 	}
-	youngDst := make([]vm.Addr, len(youngLive))
+	youngDst := growAddrs(c.youngDst, len(youngLive))
 	for i, a := range youngLive {
 		d, err := assign(a)
 		if err != nil {
@@ -305,12 +332,23 @@ func (c *Collector) majorPrecompact(mk *markState, cy *Cycle) (*forwarding, erro
 		}
 		youngDst[i] = d
 	}
+	c.oldDst = oldDst[:0]
+	c.youngDst = youngDst[:0]
 
 	fw.src = append(append(fw.src, youngLive...), oldLive...)
 	fw.dst = append(append(fw.dst, youngDst...), oldDst...)
 	fw.oldStartIdx = len(youngLive)
 	fw.oldTop = oldTop
 	return fw, nil
+}
+
+// growAddrs returns a slice of exactly n addresses, reusing buf's backing
+// array when it is large enough.
+func growAddrs(buf []vm.Addr, n int) []vm.Addr {
+	if cap(buf) < n {
+		return make([]vm.Addr, n)
+	}
+	return buf[:n]
 }
 
 // majorAdjust rewrites every reference in live H1 objects, in the root
@@ -370,17 +408,20 @@ func (c *Collector) majorAdjust(fw *forwarding) int64 {
 	}
 
 	// Roots.
-	c.Roots.ForEach(func(h *vm.Handle) {
+	for _, h := range c.Roots.Handles() {
+		if h == nil {
+			continue
+		}
 		a := h.Addr()
 		if a.IsNull() || c.TH.Contains(a) {
-			return
+			continue
 		}
 		nt, ok := adjustRef(fw.src, fw.dst, a)
 		if !ok {
 			panic(fmt.Sprintf("gc: rooted handle references unmarked %v", a))
 		}
 		h.Set(nt)
-	})
+	}
 
 	return refs
 }
@@ -395,12 +436,18 @@ func (c *Collector) majorCompact(fw *forwarding, cy *Cycle) {
 		src, dst := fw.src[i], fw.dst[i]
 		size := m.SizeWords(src)
 		if fw.inH2(i) {
-			image := make([]uint64, size)
+			image := c.imageBuf
+			if cap(image) < size {
+				image = make([]uint64, size)
+			} else {
+				image = image[:size]
+			}
 			for w := 0; w < size; w++ {
 				image[w] = m.AS.Load(src + vm.Addr(w*vm.WordSize))
 			}
 			image[0] &^= vm.FlagMark | vm.FlagClosure
-			c.TH.CommitMove(dst, image)
+			c.TH.CommitMove(dst, image) // copies image; safe to reuse
+			c.imageBuf = image
 			cy.BytesMovedToH2 += int64(size) * vm.WordSize
 			cy.ObjectsMovedH2++
 			return

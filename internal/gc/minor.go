@@ -18,10 +18,11 @@ type pendingH2Move struct {
 	status uint64
 }
 
-// scavenger holds the per-cycle state of one minor GC. The worklist and
-// h2moves buffers borrow the collector's persistent backing arrays
-// (grown once, reused every cycle); h2head marks the FIFO consumption
-// point into h2moves so draining never re-slices the array front.
+// scavenger holds the per-cycle state of one minor GC. One instance lives
+// on the collector: its worklist and h2moves backing arrays are grown once
+// and reused every cycle, so a steady-state scavenge never allocates.
+// h2head marks the FIFO consumption point into h2moves so draining never
+// re-slices the array front.
 type scavenger struct {
 	c        *Collector
 	worklist []vm.Addr
@@ -75,34 +76,29 @@ func (c *Collector) MinorGC() (err error) {
 	}()
 	before := c.Clock.Breakdown()
 
-	s := &scavenger{c: c, worklist: c.scavWorklist[:0], h2moves: c.scavH2Moves[:0],
-		oldTop: c.H1.Old.Top}
+	s := &c.scav
+	s.begin(c.H1.Old.Top)
 
-	// Roots 1: handles.
-	c.Roots.ForEach(func(h *vm.Handle) {
+	// Roots 1: handles. Iterated directly (nil slots are released handles)
+	// rather than through ForEach, which would allocate a closure per cycle.
+	for _, h := range c.Roots.Handles() {
+		if h == nil {
+			continue
+		}
 		a := h.Addr()
 		if !a.IsNull() && c.H1.InYoung(a) {
 			h.Set(s.copyYoung(a))
 		}
-	})
+	}
 
 	// Roots 2: old-to-young references via the H1 card table.
 	s.scanDirtyCards()
 
-	// Roots 3: backward references from H2 (dirty and youngGen segments).
-	c.TH.ScanBackwardRefs(false, func(_ uint64, t vm.Addr) vm.Addr {
-		if c.H1.InYoung(t) {
-			return s.copyYoung(t)
-		}
-		return t
-	}, c.H1.InYoung)
+	// Roots 3: backward references from H2 (dirty and youngGen segments),
+	// via the collector's pre-built visitor.
+	c.TH.ScanBackwardRefs(false, c.scavBackVisit, c.isYoungFn)
 
 	s.drain()
-
-	// Return the (possibly grown) buffers to the collector for the next
-	// cycle, empty.
-	c.scavWorklist = s.worklist[:0]
-	c.scavH2Moves = s.h2moves[:0]
 
 	// The young generation is now empty: survivors moved to to-space, the
 	// tenured to the old generation, the tagged to H2.
@@ -136,6 +132,22 @@ func (c *Collector) MinorGC() (err error) {
 		return flt
 	}
 	return nil
+}
+
+// begin resets the scavenger for a new cycle, keeping the grown backing
+// arrays.
+func (s *scavenger) begin(oldTop vm.Addr) {
+	s.worklist = s.worklist[:0]
+	s.h2moves = s.h2moves[:0]
+	s.h2head = 0
+	s.oldTop = oldTop
+	s.bytesCopied = 0
+	s.bytesPromoted = 0
+	s.bytesToH2 = 0
+	s.objectsToH2 = 0
+	s.refsScanned = 0
+	s.cardsScanned = 0
+	s.cardObjects = 0
 }
 
 // copyYoung evacuates the young object at a, returning its new address.
@@ -250,7 +262,12 @@ func (s *scavenger) commitH2Move(mv pendingH2Move) {
 	numRefs := int(shape >> 32)
 	label := m.Label(mv.src)
 
-	image := make([]uint64, size)
+	image := c.imageBuf
+	if cap(image) < size {
+		image = make([]uint64, size)
+	} else {
+		image = image[:size]
+	}
 	// Clear mark AND closure bits, matching majorCompact: a young object
 	// selected into a closure by a prior major mark and then
 	// direct-promoted must not carry a stale closure bit into H2.
@@ -289,7 +306,8 @@ func (s *scavenger) commitH2Move(mv pendingH2Move) {
 	for i := vm.HeaderWords + numRefs; i < size; i++ {
 		image[i] = m.AS.Load(mv.src + vm.Addr(i*vm.WordSize))
 	}
-	c.TH.CommitMove(mv.dst, image)
+	c.TH.CommitMove(mv.dst, image) // copies image; safe to reuse
+	c.imageBuf = image
 }
 
 // scanDirtyCards walks old-generation objects in dirty cards, evacuating

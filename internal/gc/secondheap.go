@@ -41,6 +41,8 @@ type SecondHeap interface {
 
 	// CommitMove writes the fully adjusted object image to dst through
 	// the per-region promotion buffer (batched asynchronous device I/O).
+	// Implementations must not retain words after returning: the collector
+	// reuses the backing buffer for the next image.
 	CommitMove(dst vm.Addr, words []uint64)
 
 	// FlushBuffers drains all promotion buffers to the device.

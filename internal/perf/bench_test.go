@@ -1,0 +1,63 @@
+package perf
+
+import (
+	"testing"
+)
+
+// BenchmarkMicros runs every BENCH microbenchmark as a sub-benchmark, so
+// `go test -bench . ./internal/perf/` reproduces the numbers the bench
+// subcommand records.
+func BenchmarkMicros(b *testing.B) {
+	for _, m := range Micros() {
+		b.Run(m.Name, func(b *testing.B) {
+			op := m.Setup()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				op()
+			}
+		})
+	}
+}
+
+// TestMicroAllocPins locks in the steady-state allocation counts of every
+// hot loop. The scavenge and card-scan zeros are acceptance criteria: a
+// regression here means a per-cycle allocation crept back into the
+// collector's inner loops.
+func TestMicroAllocPins(t *testing.T) {
+	pins := map[string]float64{
+		"pagecache_touch_hit":        0,
+		"pagecache_touch_miss_evict": 0,
+		"pagecache_invalidate":       0,
+		"rootset_create_release":     1, // the Handle object itself
+		"minor_gc_scavenge":          0,
+		"card_table_scan":            0,
+	}
+	for _, m := range Micros() {
+		m := m
+		t.Run(m.Name, func(t *testing.T) {
+			want, ok := pins[m.Name]
+			if !ok {
+				t.Fatalf("no alloc pin registered for %q", m.Name)
+			}
+			op := m.Setup()
+			if got := testing.AllocsPerRun(100, op); got > want {
+				t.Errorf("%s: %v allocs/op, pinned at %v", m.Name, got, want)
+			}
+		})
+	}
+}
+
+// TestMicrosHaveUniqueStableNames guards the BENCH schema key space.
+func TestMicrosHaveUniqueStableNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range Micros() {
+		if m.Name == "" || seen[m.Name] {
+			t.Fatalf("duplicate or empty micro name %q", m.Name)
+		}
+		seen[m.Name] = true
+	}
+	if want := 6; len(seen) != want {
+		t.Fatalf("expected %d micros, got %d", want, len(seen))
+	}
+}

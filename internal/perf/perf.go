@@ -1,0 +1,171 @@
+// Package perf defines the persistent performance trajectory of the
+// simulator: the BENCH_<rev>.json schema written by the `teraheap-bench
+// bench` subcommand, and the diff mode that compares two reports and
+// flags regressions.
+//
+// Everything recorded here is host-side speed — wall-clock per figure,
+// ns/op and allocs/op for the hot-loop microbenchmarks. Simulated time is
+// deliberately absent: simulated costs are part of the model's output
+// (byte-identical across host-speed PRs), not of its performance.
+//
+// JSON field order is the struct declaration order below; tests pin it so
+// checked-in baselines diff cleanly line-by-line.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Schema is the current BENCH file schema version.
+const Schema = 1
+
+// Figure is the wall-clock time of one experiment of the `all` suite.
+type Figure struct {
+	Name   string `json:"name"`
+	WallNS int64  `json:"wall_ns"`
+}
+
+// Benchmark is one hot-loop microbenchmark result.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is one BENCH_<rev>.json file: the performance of one revision on
+// one host.
+type Report struct {
+	Schema     int         `json:"schema"`
+	Rev        string      `json:"rev"`
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	Jobs       int         `json:"jobs"`
+	TotalNS    int64       `json:"total_ns"`
+	Figures    []Figure    `json:"figures"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Encode renders the report as indented JSON with a trailing newline.
+func (r *Report) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Decode parses a BENCH report and validates its schema version.
+func Decode(data []byte) (*Report, error) {
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("perf: %w", err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("perf: unsupported schema %d (want %d)", r.Schema, Schema)
+	}
+	return &r, nil
+}
+
+// ReadFile loads a BENCH_<rev>.json file.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(data)
+}
+
+// WriteFile writes the report to path.
+func (r *Report) WriteFile(path string) error {
+	b, err := r.Encode()
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Regression is one metric of the new report that got worse than the old
+// one past the comparison's threshold.
+type Regression struct {
+	Kind  string  `json:"kind"` // "total-wall", "figure-wall", "bench-ns", "bench-allocs"
+	Name  string  `json:"name"`
+	Old   float64 `json:"old"`
+	New   float64 `json:"new"`
+	Ratio float64 `json:"ratio"` // new/old
+}
+
+// Diff compares cur against old and returns every regression. Wall-clock
+// and ns/op metrics regress when new > old*(1+threshold) — they are noisy,
+// so small increases are tolerated. allocs/op regresses on ANY increase:
+// allocation counts are deterministic, and the zero-alloc steady state of
+// the scavenge and card-scan loops must stay locked in. Metrics present
+// in only one report are ignored (benchmarks come and go across PRs).
+func Diff(old, cur *Report, threshold float64) []Regression {
+	var regs []Regression
+	worse := func(o, n float64) bool { return o > 0 && n > o*(1+threshold) }
+
+	if worse(float64(old.TotalNS), float64(cur.TotalNS)) {
+		regs = append(regs, Regression{Kind: "total-wall", Name: "all",
+			Old: float64(old.TotalNS), New: float64(cur.TotalNS),
+			Ratio: float64(cur.TotalNS) / float64(old.TotalNS)})
+	}
+
+	oldFig := make(map[string]Figure, len(old.Figures))
+	for _, f := range old.Figures {
+		oldFig[f.Name] = f
+	}
+	for _, f := range cur.Figures {
+		of, ok := oldFig[f.Name]
+		if !ok {
+			continue
+		}
+		if worse(float64(of.WallNS), float64(f.WallNS)) {
+			regs = append(regs, Regression{Kind: "figure-wall", Name: f.Name,
+				Old: float64(of.WallNS), New: float64(f.WallNS),
+				Ratio: float64(f.WallNS) / float64(of.WallNS)})
+		}
+	}
+
+	oldBench := make(map[string]Benchmark, len(old.Benchmarks))
+	for _, b := range old.Benchmarks {
+		oldBench[b.Name] = b
+	}
+	for _, b := range cur.Benchmarks {
+		ob, ok := oldBench[b.Name]
+		if !ok {
+			continue
+		}
+		if worse(ob.NsPerOp, b.NsPerOp) {
+			regs = append(regs, Regression{Kind: "bench-ns", Name: b.Name,
+				Old: ob.NsPerOp, New: b.NsPerOp, Ratio: b.NsPerOp / ob.NsPerOp})
+		}
+		if b.AllocsPerOp > ob.AllocsPerOp {
+			ratio := 0.0
+			if ob.AllocsPerOp > 0 {
+				ratio = b.AllocsPerOp / ob.AllocsPerOp
+			}
+			regs = append(regs, Regression{Kind: "bench-allocs", Name: b.Name,
+				Old: ob.AllocsPerOp, New: b.AllocsPerOp, Ratio: ratio})
+		}
+	}
+	return regs
+}
+
+// FormatRegressions renders a diff result for humans; empty input yields a
+// single "no regressions" line.
+func FormatRegressions(regs []Regression, threshold float64) string {
+	if len(regs) == 0 {
+		return fmt.Sprintf("perf diff: no regressions (threshold %.0f%%)\n", threshold*100)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "perf diff: %d regression(s) past %.0f%% threshold\n", len(regs), threshold*100)
+	for _, r := range regs {
+		fmt.Fprintf(&b, "  %-12s %-28s %14.1f -> %14.1f (%.2fx)\n", r.Kind, r.Name, r.Old, r.New, r.Ratio)
+	}
+	return b.String()
+}

@@ -1,0 +1,177 @@
+package perf
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleReport() *Report {
+	return &Report{
+		Schema:    Schema,
+		Rev:       "abc1234",
+		GoVersion: "go1.22.0",
+		GOOS:      "linux",
+		GOARCH:    "amd64",
+		Jobs:      4,
+		TotalNS:   100_000_000_000,
+		Figures: []Figure{
+			{Name: "fig7", WallNS: 9_000_000_000},
+			{Name: "table5", WallNS: 2_000_000_000},
+		},
+		Benchmarks: []Benchmark{
+			{Name: "minor_gc_scavenge", NsPerOp: 10500, AllocsPerOp: 0, BytesPerOp: 0},
+			{Name: "rootset_create_release", NsPerOp: 32, AllocsPerOp: 1, BytesPerOp: 16},
+		},
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	r := sampleReport()
+	path := filepath.Join(t.TempDir(), "BENCH_abc1234.json")
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Rev != r.Rev || got.TotalNS != r.TotalNS || got.Jobs != r.Jobs {
+		t.Fatalf("round trip mangled header: %+v", got)
+	}
+	if len(got.Figures) != 2 || got.Figures[0] != r.Figures[0] {
+		t.Fatalf("round trip mangled figures: %+v", got.Figures)
+	}
+	if len(got.Benchmarks) != 2 || got.Benchmarks[1] != r.Benchmarks[1] {
+		t.Fatalf("round trip mangled benchmarks: %+v", got.Benchmarks)
+	}
+}
+
+func TestDecodeRejectsWrongSchema(t *testing.T) {
+	if _, err := Decode([]byte(`{"schema": 99}`)); err == nil {
+		t.Fatal("schema 99 accepted")
+	}
+	if _, err := Decode([]byte(`{not json`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+// TestEncodeFieldOrderStable pins the JSON key order to the struct
+// declaration order, so checked-in BENCH baselines diff line-by-line.
+func TestEncodeFieldOrderStable(t *testing.T) {
+	b, err := sampleReport().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(b)
+	topLevel := []string{`"schema"`, `"rev"`, `"go_version"`, `"goos"`, `"goarch"`,
+		`"jobs"`, `"total_ns"`, `"figures"`, `"benchmarks"`}
+	last := -1
+	for _, key := range topLevel {
+		i := strings.Index(s, key)
+		if i < 0 {
+			t.Fatalf("key %s missing from encoding", key)
+		}
+		if i < last {
+			t.Fatalf("key %s out of declaration order", key)
+		}
+		last = i
+	}
+	benchKeys := []string{`"name"`, `"ns_per_op"`, `"allocs_per_op"`, `"bytes_per_op"`}
+	bench := s[strings.Index(s, `"benchmarks"`):]
+	last = -1
+	for _, key := range benchKeys {
+		i := strings.Index(bench, key)
+		if i < 0 {
+			t.Fatalf("benchmark key %s missing", key)
+		}
+		if i < last {
+			t.Fatalf("benchmark key %s out of declaration order", key)
+		}
+		last = i
+	}
+	if !strings.HasSuffix(s, "}\n") {
+		t.Fatal("encoding must end with a newline")
+	}
+}
+
+func TestDiffFlagsRegressionsPastThreshold(t *testing.T) {
+	old := sampleReport()
+	cur := sampleReport()
+
+	// 10% under a 25% threshold: no regression.
+	cur.Figures[0].WallNS = old.Figures[0].WallNS * 110 / 100
+	if regs := Diff(old, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("10%% slower flagged at 25%% threshold: %+v", regs)
+	}
+
+	// 50% over threshold: figure-wall regression.
+	cur.Figures[0].WallNS = old.Figures[0].WallNS * 150 / 100
+	regs := Diff(old, cur, 0.25)
+	if len(regs) != 1 || regs[0].Kind != "figure-wall" || regs[0].Name != "fig7" {
+		t.Fatalf("want one figure-wall regression for fig7, got %+v", regs)
+	}
+	if regs[0].Ratio < 1.49 || regs[0].Ratio > 1.51 {
+		t.Fatalf("ratio %v, want ~1.5", regs[0].Ratio)
+	}
+
+	// Total wall-clock past threshold.
+	cur = sampleReport()
+	cur.TotalNS = old.TotalNS * 2
+	regs = Diff(old, cur, 0.25)
+	if len(regs) != 1 || regs[0].Kind != "total-wall" {
+		t.Fatalf("want total-wall regression, got %+v", regs)
+	}
+
+	// ns/op past threshold.
+	cur = sampleReport()
+	cur.Benchmarks[0].NsPerOp = old.Benchmarks[0].NsPerOp * 1.3
+	regs = Diff(old, cur, 0.25)
+	if len(regs) != 1 || regs[0].Kind != "bench-ns" || regs[0].Name != "minor_gc_scavenge" {
+		t.Fatalf("want bench-ns regression, got %+v", regs)
+	}
+}
+
+// TestDiffAllocsAreExact: allocation counts are deterministic, so ANY
+// increase regresses regardless of threshold — the zero-alloc pins must
+// not drift even fractionally.
+func TestDiffAllocsAreExact(t *testing.T) {
+	old := sampleReport()
+	cur := sampleReport()
+	cur.Benchmarks[0].AllocsPerOp = 1 // was 0
+	regs := Diff(old, cur, 10.0)      // huge threshold must not matter
+	if len(regs) != 1 || regs[0].Kind != "bench-allocs" || regs[0].Name != "minor_gc_scavenge" {
+		t.Fatalf("want bench-allocs regression, got %+v", regs)
+	}
+	// Equal or lower allocs: clean.
+	cur.Benchmarks[0].AllocsPerOp = 0
+	cur.Benchmarks[1].AllocsPerOp = 0 // improvement
+	if regs := Diff(old, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("improvement flagged: %+v", regs)
+	}
+}
+
+// TestDiffIgnoresUnmatchedEntries: benchmarks and figures present in only
+// one report are skipped, so adding or retiring a micro never fails CI.
+func TestDiffIgnoresUnmatchedEntries(t *testing.T) {
+	old := sampleReport()
+	cur := sampleReport()
+	cur.Figures = append(cur.Figures, Figure{Name: "fig99", WallNS: 1 << 40})
+	cur.Benchmarks = append(cur.Benchmarks, Benchmark{Name: "brand_new", NsPerOp: 1e12})
+	old.Figures = append(old.Figures, Figure{Name: "retired", WallNS: 1})
+	if regs := Diff(old, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("unmatched entries flagged: %+v", regs)
+	}
+}
+
+func TestFormatRegressions(t *testing.T) {
+	if s := FormatRegressions(nil, 0.25); !strings.Contains(s, "no regressions") {
+		t.Fatalf("empty diff rendered %q", s)
+	}
+	s := FormatRegressions([]Regression{
+		{Kind: "bench-ns", Name: "minor_gc_scavenge", Old: 100, New: 200, Ratio: 2},
+	}, 0.25)
+	if !strings.Contains(s, "1 regression(s)") || !strings.Contains(s, "minor_gc_scavenge") {
+		t.Fatalf("diff rendered %q", s)
+	}
+}

@@ -26,8 +26,13 @@ import (
 var defaultWorkers atomic.Int64
 
 // SetDefaultWorkers sets the worker count used by Map. j <= 0 resets to
-// GOMAXPROCS. It returns the previous setting so callers can restore it.
+// GOMAXPROCS: negative values are normalized to 0 rather than stored, so
+// a bad -j can never leak a nonsense count into later reads. It returns
+// the previous setting so callers can restore it.
 func SetDefaultWorkers(j int) int {
+	if j < 0 {
+		j = 0
+	}
 	prev := int(defaultWorkers.Swap(int64(j)))
 	return prev
 }

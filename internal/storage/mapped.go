@@ -91,12 +91,13 @@ func (m *MappedFile) BulkStore(w int64, src []uint64) {
 
 // insertClean adds a page as resident and clean without device traffic.
 func (c *PageCache) insertClean(page int64) {
-	if _, ok := c.entries[page]; ok {
+	s := c.slot(page)
+	if s.state != pageAbsent {
 		return
 	}
-	e := &cacheEntry{page: page}
-	c.entries[page] = e
-	c.pushFront(e)
+	s.state = pageClean
+	c.pushFront(int32(page))
+	c.resident++
 	c.evictIfNeeded()
 }
 
@@ -117,7 +118,5 @@ func (m *MappedFile) PeekWord(w int64) uint64 { return m.words[w] }
 // are reclaimed, so that stale bytes from a region's previous life are
 // never mistaken for object headers after reuse.
 func (m *MappedFile) ZeroWords(w, n int64) {
-	for i := w; i < w+n; i++ {
-		m.words[i] = 0
-	}
+	clear(m.words[w : w+n])
 }

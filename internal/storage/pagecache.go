@@ -11,6 +11,13 @@ import (
 // pages that stay dirty past the writeback window are flushed the way the
 // kernel's dirty-page writeback does — so mutating device-resident data
 // keeps paying device writes (the paper's read-modify-write cost, §7.2).
+//
+// Residency is tracked in a dense page-slot table indexed by page number
+// (mapping pages are dense from 0, bounded by the mapped-file size) with an
+// intrusive LRU list threaded through the slots. Touch is the hottest call
+// in the simulator — every simulated H2 load and store lands here — so the
+// slot table replaces the old map[int64]*cacheEntry to avoid hashing and
+// per-fault node allocation.
 type PageCache struct {
 	dev      *Device
 	pageSize int
@@ -20,9 +27,14 @@ type PageCache struct {
 	// writeback (0 disables windowed writeback).
 	WritebackWindow time.Duration
 
-	entries map[int64]*cacheEntry
-	head    *cacheEntry // most recently used
-	tail    *cacheEntry // least recently used
+	slots      []pageSlot // indexed by page number, grown on demand
+	head, tail int32      // LRU list ends; nilPage when empty
+	resident   int
+
+	// Persistent writeback thunks so the hot eviction and windowed-flush
+	// paths never allocate a closure.
+	writePage      func()
+	writeAsyncPage func()
 
 	// Readahead state: sequential fault streams amortize device latency
 	// over SeqBatch pages, the way OS readahead turns page faults on a
@@ -43,49 +55,85 @@ type PageCache struct {
 	Evictions        int64
 }
 
-type cacheEntry struct {
-	page       int64
-	dirty      bool
+// nilPage terminates the intrusive LRU list.
+const nilPage int32 = -1
+
+// Page residency states. The zero value means absent so a freshly grown
+// slot table is correct without initialization.
+const (
+	pageAbsent uint8 = iota
+	pageClean
+	pageDirty
+)
+
+// pageSlot is one entry of the dense residency table. prev/next thread the
+// intrusive LRU list (slot indices, nilPage-terminated) and are only
+// meaningful while state != pageAbsent.
+type pageSlot struct {
+	prev, next int32
+	state      uint8
 	dirtySince time.Duration
-	prev, next *cacheEntry
 }
 
 // NewPageCache builds a cache of capacityPages pages of pageSize bytes over
 // dev. A capacity of 0 means the cache never evicts.
 func NewPageCache(dev *Device, pageSize, capacityPages int) *PageCache {
-	return &PageCache{
+	c := &PageCache{
 		dev:             dev,
 		pageSize:        pageSize,
 		capacity:        capacityPages,
 		WritebackWindow: 200 * time.Microsecond,
-		entries:         make(map[int64]*cacheEntry),
+		head:            nilPage,
+		tail:            nilPage,
 	}
+	c.writePage = func() { c.dev.Write(int64(c.pageSize)) }
+	c.writeAsyncPage = func() { c.dev.WriteAsync(int64(c.pageSize), c.pageSize) }
+	return c
 }
 
 // PageSize returns the page size in bytes.
 func (c *PageCache) PageSize() int { return c.pageSize }
 
 // Len returns the number of resident pages.
-func (c *PageCache) Len() int { return len(c.entries) }
+func (c *PageCache) Len() int { return c.resident }
 
 // Capacity returns the capacity in pages (0 = unbounded).
 func (c *PageCache) Capacity() int { return c.capacity }
 
+// slot returns the table entry for page, growing the table if needed.
+func (c *PageCache) slot(page int64) *pageSlot {
+	if page >= int64(len(c.slots)) {
+		c.growTo(page)
+	}
+	return &c.slots[page]
+}
+
+// growTo extends the slot table to cover page (amortized doubling).
+func (c *PageCache) growTo(page int64) {
+	need := page + 1
+	if min := int64(2 * len(c.slots)); need < min {
+		need = min
+	}
+	ns := make([]pageSlot, need)
+	copy(ns, c.slots)
+	c.slots = ns
+}
+
 // Touch faults the page in if needed and marks it most-recently-used.
 // If write is true the page is marked dirty.
 func (c *PageCache) Touch(page int64, write bool) {
-	e, ok := c.entries[page]
-	if ok {
+	s := c.slot(page)
+	if s.state != pageAbsent {
 		c.Hits++
-		c.moveToFront(e)
+		c.moveToFront(int32(page))
 		// Windowed writeback: a page that has been dirty longer than the
 		// writeback window is flushed; further writes re-dirty it and pay
 		// again.
-		if e.dirty && c.WritebackWindow > 0 {
-			if now := c.dev.clock.Now(); now-e.dirtySince >= c.WritebackWindow {
+		if s.state == pageDirty && c.WritebackWindow > 0 {
+			if now := c.dev.clock.Now(); now-s.dirtySince >= c.WritebackWindow {
 				c.Writebacks++
-				c.chargeWriteback(func() { c.dev.WriteAsync(int64(c.pageSize), c.pageSize) })
-				e.dirty = false
+				c.chargeWriteback(c.writeAsyncPage)
+				s.state = pageClean
 			}
 		}
 	} else {
@@ -98,29 +146,29 @@ func (c *PageCache) Touch(page int64, write bool) {
 		} else {
 			c.dev.Read(int64(c.pageSize))
 		}
-		e = &cacheEntry{page: page}
-		c.entries[page] = e
-		c.pushFront(e)
+		s.state = pageClean
+		c.pushFront(int32(page))
+		c.resident++
 		c.evictIfNeeded()
 	}
-	if write && !e.dirty {
-		e.dirty = true
-		e.dirtySince = c.dev.clock.Now()
+	if write && s.state != pageDirty {
+		s.state = pageDirty
+		s.dirtySince = c.dev.clock.Now()
 	}
 }
 
 // Resident reports whether the page is currently cached.
 func (c *PageCache) Resident(page int64) bool {
-	_, ok := c.entries[page]
-	return ok
+	return page >= 0 && page < int64(len(c.slots)) && c.slots[page].state != pageAbsent
 }
 
 // FlushAll writes back every dirty page (msync-style) without evicting.
 func (c *PageCache) FlushAll() {
 	var dirtyBytes int64
-	for _, e := range c.entries {
-		if e.dirty {
-			e.dirty = false
+	for p := c.head; p != nilPage; p = c.slots[p].next {
+		s := &c.slots[p]
+		if s.state == pageDirty {
+			s.state = pageClean
 			c.Writebacks++
 			dirtyBytes += int64(c.pageSize)
 		}
@@ -145,8 +193,15 @@ func (c *PageCache) chargeWriteback(charge func()) {
 // DropAll empties the cache, writing back dirty pages first.
 func (c *PageCache) DropAll() {
 	c.FlushAll()
-	c.entries = make(map[int64]*cacheEntry)
-	c.head, c.tail = nil, nil
+	for p := c.head; p != nilPage; {
+		s := &c.slots[p]
+		next := s.next
+		s.state = pageAbsent
+		s.prev, s.next = nilPage, nilPage
+		p = next
+	}
+	c.head, c.tail = nilPage, nilPage
+	c.resident = 0
 }
 
 // InvalidateRange drops any cached pages in [firstPage, lastPage] without
@@ -156,20 +211,28 @@ func (c *PageCache) DropAll() {
 // with the reclaimed region, and letting it linger would misclassify the
 // next unrelated fault nearby as sequential.
 func (c *PageCache) InvalidateRange(firstPage, lastPage int64) {
-	if lastPage-firstPage+1 > int64(len(c.entries)) {
-		// Region reclaims cover far more pages than are resident; iterate
-		// the map instead of probing every page in the range.
-		for p, e := range c.entries {
-			if p >= firstPage && p <= lastPage {
-				c.unlink(e)
-				delete(c.entries, p)
+	if lastPage-firstPage+1 > int64(c.resident) {
+		// Region reclaims cover far more pages than are resident; walk the
+		// LRU list instead of probing every page in the range.
+		for p := c.head; p != nilPage; {
+			next := c.slots[p].next
+			if int64(p) >= firstPage && int64(p) <= lastPage {
+				c.remove(p)
 			}
+			p = next
 		}
 	} else {
-		for p := firstPage; p <= lastPage; p++ {
-			if e, ok := c.entries[p]; ok {
-				c.unlink(e)
-				delete(c.entries, p)
+		lo := firstPage
+		if lo < 0 {
+			lo = 0
+		}
+		hi := lastPage
+		if max := int64(len(c.slots)) - 1; hi > max {
+			hi = max
+		}
+		for p := lo; p <= hi; p++ {
+			if c.slots[p].state != pageAbsent {
+				c.remove(int32(p))
 			}
 		}
 	}
@@ -181,88 +244,102 @@ func (c *PageCache) InvalidateRange(firstPage, lastPage int64) {
 	}
 }
 
+// remove unlinks a resident page and marks its slot absent.
+func (c *PageCache) remove(p int32) {
+	c.unlink(p)
+	c.slots[p].state = pageAbsent
+	c.resident--
+}
+
 func (c *PageCache) evictIfNeeded() {
 	if c.capacity <= 0 {
 		return
 	}
-	for len(c.entries) > c.capacity {
+	for c.resident > c.capacity {
 		victim := c.tail
-		if victim == nil {
+		if victim == nilPage {
 			return
 		}
-		if victim.dirty {
+		if c.slots[victim].state == pageDirty {
 			c.Writebacks++
-			c.chargeWriteback(func() { c.dev.Write(int64(c.pageSize)) })
+			c.chargeWriteback(c.writePage)
 		}
 		c.Evictions++
-		c.unlink(victim)
-		delete(c.entries, victim.page)
+		c.remove(victim)
 	}
 }
 
-func (c *PageCache) pushFront(e *cacheEntry) {
-	e.prev = nil
-	e.next = c.head
-	if c.head != nil {
-		c.head.prev = e
+func (c *PageCache) pushFront(p int32) {
+	s := &c.slots[p]
+	s.prev = nilPage
+	s.next = c.head
+	if c.head != nilPage {
+		c.slots[c.head].prev = p
 	}
-	c.head = e
-	if c.tail == nil {
-		c.tail = e
+	c.head = p
+	if c.tail == nilPage {
+		c.tail = p
 	}
 }
 
-func (c *PageCache) unlink(e *cacheEntry) {
-	if e.prev != nil {
-		e.prev.next = e.next
+func (c *PageCache) unlink(p int32) {
+	s := &c.slots[p]
+	if s.prev != nilPage {
+		c.slots[s.prev].next = s.next
 	} else {
-		c.head = e.next
+		c.head = s.next
 	}
-	if e.next != nil {
-		e.next.prev = e.prev
+	if s.next != nilPage {
+		c.slots[s.next].prev = s.prev
 	} else {
-		c.tail = e.prev
+		c.tail = s.prev
 	}
-	e.prev, e.next = nil, nil
+	s.prev, s.next = nilPage, nilPage
 }
 
-func (c *PageCache) moveToFront(e *cacheEntry) {
-	if c.head == e {
+func (c *PageCache) moveToFront(p int32) {
+	if c.head == p {
 		return
 	}
-	c.unlink(e)
-	c.pushFront(e)
+	c.unlink(p)
+	c.pushFront(p)
 }
 
 // CheckConsistency validates the cache's internal structure: the LRU list
-// and the page map must describe the same set of entries, the list links
-// must be well formed, and the capacity bound must hold. It returns the
-// first inconsistency found, or nil. Invariant checks and tests only.
+// and the slot table must describe the same set of resident pages, the list
+// links must be well formed, and the capacity bound must hold. It returns
+// the first inconsistency found, or nil. Invariant checks and tests only.
 func (c *PageCache) CheckConsistency() error {
 	n := 0
-	var prev *cacheEntry
-	for e := c.head; e != nil; e = e.next {
-		if e.prev != prev {
-			return fmt.Errorf("pagecache: entry for page %d has prev %p, want %p", e.page, e.prev, prev)
+	prev := nilPage
+	for p := c.head; p != nilPage; p = c.slots[p].next {
+		s := &c.slots[p]
+		if s.prev != prev {
+			return fmt.Errorf("pagecache: page %d has prev %d, want %d", p, s.prev, prev)
 		}
-		got, ok := c.entries[e.page]
-		if !ok {
-			return fmt.Errorf("pagecache: page %d on LRU list but not in map", e.page)
-		}
-		if got != e {
-			return fmt.Errorf("pagecache: page %d maps to a different entry than the LRU node", e.page)
+		if s.state == pageAbsent {
+			return fmt.Errorf("pagecache: page %d on LRU list but its slot is absent", p)
 		}
 		n++
-		if n > len(c.entries) {
-			return fmt.Errorf("pagecache: LRU list longer than map (%d entries) — cycle or leaked node", len(c.entries))
+		if n > c.resident {
+			return fmt.Errorf("pagecache: LRU list longer than resident count (%d) — cycle or leaked node", c.resident)
 		}
-		prev = e
+		prev = p
 	}
 	if prev != c.tail {
-		return fmt.Errorf("pagecache: tail %p does not terminate the LRU list (last node %p)", c.tail, prev)
+		return fmt.Errorf("pagecache: tail %d does not terminate the LRU list (last node %d)", c.tail, prev)
 	}
-	if n != len(c.entries) {
-		return fmt.Errorf("pagecache: LRU list has %d entries, map has %d", n, len(c.entries))
+	if n != c.resident {
+		return fmt.Errorf("pagecache: LRU list has %d entries, resident count is %d", n, c.resident)
+	}
+	total := 0
+	for i := range c.slots {
+		if c.slots[i].state != pageAbsent {
+			total++
+		}
+	}
+	if total != c.resident {
+		return fmt.Errorf("pagecache: %d resident slots in table, resident count is %d", total, c.resident)
 	}
 	if c.capacity > 0 && n > c.capacity {
 		return fmt.Errorf("pagecache: %d resident pages exceed capacity %d", n, c.capacity)

@@ -1,0 +1,91 @@
+package storage_test
+
+import (
+	"testing"
+
+	"github.com/carv-repro/teraheap-go/internal/simclock"
+	"github.com/carv-repro/teraheap-go/internal/storage"
+)
+
+func benchCache(capacity int) *storage.PageCache {
+	clock := simclock.New()
+	dev := storage.NewDevice(storage.NVMeSSD, clock)
+	return storage.NewPageCache(dev, storage.DefaultPageSize, capacity)
+}
+
+func BenchmarkPageCacheTouchHit(b *testing.B) {
+	c := benchCache(64)
+	for p := int64(0); p < 64; p++ {
+		c.Touch(p, false)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Touch(int64(i)&63, false)
+	}
+}
+
+func BenchmarkPageCacheTouchMissEvict(b *testing.B) {
+	c := benchCache(32)
+	for p := int64(0); p < 64; p++ {
+		c.Touch(p, false)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	p := int64(0)
+	for i := 0; i < b.N; i++ {
+		c.Touch(p&63, false)
+		p += 33
+	}
+}
+
+func BenchmarkPageCacheInvalidateRange(b *testing.B) {
+	c := benchCache(64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p := int64(0); p < 8; p++ {
+			c.Touch(p, true)
+		}
+		c.InvalidateRange(0, 7)
+	}
+}
+
+// TestPageCacheSteadyStateAllocFree pins the page-slot table design: once
+// the slot table has grown to cover the touched page range, hits, misses
+// with eviction, and range invalidation all run without allocating.
+func TestPageCacheSteadyStateAllocFree(t *testing.T) {
+	hit := benchCache(64)
+	for p := int64(0); p < 64; p++ {
+		hit.Touch(p, false)
+	}
+	i := int64(0)
+	if got := testing.AllocsPerRun(100, func() {
+		hit.Touch(i&63, false)
+		i++
+	}); got != 0 {
+		t.Errorf("touch hit: %v allocs/op, want 0", got)
+	}
+
+	miss := benchCache(32)
+	for p := int64(0); p < 64; p++ {
+		miss.Touch(p, false)
+	}
+	p := int64(0)
+	if got := testing.AllocsPerRun(100, func() {
+		miss.Touch(p&63, false)
+		p += 33
+	}); got != 0 {
+		t.Errorf("touch miss+evict: %v allocs/op, want 0", got)
+	}
+
+	inv := benchCache(64)
+	if got := testing.AllocsPerRun(100, func() {
+		for q := int64(0); q < 8; q++ {
+			inv.Touch(q, true)
+		}
+		inv.InvalidateRange(0, 7)
+	}); got != 0 {
+		t.Errorf("touch+invalidate: %v allocs/op, want 0", got)
+	}
+}

@@ -6,6 +6,9 @@ package vm
 // holds Handles rather than raw addresses across allocation points.
 type Handle struct {
 	addr Addr
+	// slot is the back-index into RootSet.handles, kept by the root set so
+	// Release is O(1) without a side map. -1 once released.
+	slot int32
 }
 
 // Addr returns the current object address (possibly null).
@@ -20,21 +23,22 @@ func (h *Handle) IsNull() bool { return h.addr.IsNull() }
 
 // RootSet tracks all live handles. Registration order is preserved so GC
 // traversal order, and therefore the whole simulation, is deterministic.
+// Each handle carries its slot index, so membership needs no map.
 type RootSet struct {
 	handles []*Handle
-	index   map[*Handle]int
+	live    int
 }
 
 // NewRootSet returns an empty root set.
 func NewRootSet() *RootSet {
-	return &RootSet{index: make(map[*Handle]int)}
+	return &RootSet{}
 }
 
 // Create allocates a new rooted handle holding a.
 func (r *RootSet) Create(a Addr) *Handle {
-	h := &Handle{addr: a}
-	r.index[h] = len(r.handles)
+	h := &Handle{addr: a, slot: int32(len(r.handles))}
 	r.handles = append(r.handles, h)
+	r.live++
 	return h
 }
 
@@ -45,13 +49,14 @@ func (r *RootSet) Create(a Addr) *Handle {
 // lazily to keep Create/Release O(1).
 func (r *RootSet) Release(h *Handle) {
 	h.Set(NullAddr)
-	i, ok := r.index[h]
-	if !ok {
+	i := h.slot
+	if i < 0 || int(i) >= len(r.handles) || r.handles[i] != h {
 		return
 	}
 	r.handles[i] = nil
-	delete(r.index, h)
-	if len(r.index)*2 < len(r.handles) && len(r.handles) > 64 {
+	h.slot = -1
+	r.live--
+	if r.live*2 < len(r.handles) && len(r.handles) > 64 {
 		r.compact()
 	}
 }
@@ -60,7 +65,7 @@ func (r *RootSet) compact() {
 	live := r.handles[:0]
 	for _, h := range r.handles {
 		if h != nil {
-			r.index[h] = len(live)
+			h.slot = int32(len(live))
 			live = append(live, h)
 		}
 	}
@@ -72,7 +77,7 @@ func (r *RootSet) compact() {
 }
 
 // Len returns the number of live handles.
-func (r *RootSet) Len() int { return len(r.index) }
+func (r *RootSet) Len() int { return r.live }
 
 // ForEach visits every live handle in registration order.
 func (r *RootSet) ForEach(fn func(h *Handle)) {
@@ -82,3 +87,8 @@ func (r *RootSet) ForEach(fn func(h *Handle)) {
 		}
 	}
 }
+
+// Handles exposes the underlying slot slice, nil tombstones included, in
+// registration order. Callers must treat it as read-only and skip nils; it
+// exists so per-GC root scans can iterate without a closure allocation.
+func (r *RootSet) Handles() []*Handle { return r.handles }

@@ -1,0 +1,37 @@
+package vm_test
+
+import (
+	"testing"
+
+	"github.com/carv-repro/teraheap-go/internal/vm"
+)
+
+func BenchmarkRootSetCreateRelease(b *testing.B) {
+	rs := vm.NewRootSet()
+	for i := 0; i < 64; i++ {
+		rs.Create(vm.Addr(uint64(i+1) * 8))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := rs.Create(vm.Addr(8))
+		rs.Release(h)
+	}
+}
+
+// TestRootSetCreateReleaseAllocPin pins the slice+back-index root set:
+// the only allocation per create/release pair is the Handle object itself
+// (the map the old design consulted on every Release is gone).
+func TestRootSetCreateReleaseAllocPin(t *testing.T) {
+	rs := vm.NewRootSet()
+	for i := 0; i < 64; i++ {
+		rs.Create(vm.Addr(uint64(i+1) * 8))
+	}
+	got := testing.AllocsPerRun(100, func() {
+		h := rs.Create(vm.Addr(8))
+		rs.Release(h)
+	})
+	if got > 1 {
+		t.Errorf("create/release: %v allocs/op, want <= 1 (the Handle)", got)
+	}
+}
