@@ -335,8 +335,10 @@ flags:
   -fault PLAN
              deterministic fault-injection plan, a comma-separated DSL:
              seed=N,dev-err=P,max-retries=N,backoff=DUR,spike=P[xF],
-             brownout=EVERY:LEN[xF],wb-fail=P,torn=P,h2-exhaust=P
-             (same seed => byte-identical results; empty = no faults)
+             brownout=EVERY:LEN[xF],wb-fail=P,torn=P,h2-exhaust=P,
+             region-fail=P,corrupt=P
+             (same seed => byte-identical results; empty = no faults;
+             duplicate keys are a usage error)
   -o FILE    with "bench": output path (default BENCH_<rev>.json)
   -rev REV   with "bench": revision label recorded in the report
   -threshold F
@@ -348,6 +350,9 @@ exit status: 0 clean; 1 when any run ended OOM/faulted/panicked (the full
 results table still prints); 2 usage errors. "chaos" runs a fixed schedule
 (fig7 pair, reduced-DRAM LR, fig9a hint pair) with the verifier forced on
 and exits 1 only if a run panicked — faulted runs are its expected output.
+A RECOVERED status marks a TeraHeap run whose self-healing layer salvaged
+failed H2 regions (region-fail/corrupt plans) and still produced the
+correct result; recovered runs exit 0.
 "bench" writes the BENCH_<rev>.json perf trajectory (per-figure wall-clock
 + hot-loop microbenchmarks) and exits 0 even for OOM-by-design runs.`)
 }

@@ -95,6 +95,19 @@ func TestBadFaultPlan(t *testing.T) {
 	}
 }
 
+// TestDuplicateFaultPlanKey pins the duplicate-key contract: a plan that
+// repeats a key is a usage error (exit 2) whose message names the
+// offending token, never a silent last-one-wins.
+func TestDuplicateFaultPlanKey(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-fault", "seed=1,dev-err=0.1,seed=2", "fig7"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "duplicate plan key") || !strings.Contains(stderr.String(), `"seed=2"`) {
+		t.Errorf("stderr does not name the duplicate token:\n%s", stderr.String())
+	}
+}
+
 // TestFig7CleanExitsZero pins the no-fault contract: a healthy fig7 run
 // prints its report and exits 0.
 func TestFig7CleanExitsZero(t *testing.T) {

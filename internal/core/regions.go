@@ -40,6 +40,47 @@ type region struct {
 	// entry.
 	resv     []reservation
 	resvHead int
+
+	// sum is the region image's running checksum: the XOR of
+	// csMix(word, value) over every word the device acknowledged writing.
+	// Maintained incrementally at flush and mutator-store time; the
+	// scrubber recomputes it from the device image, so a silently lost
+	// write surfaces as a mismatch instead of a wrong answer.
+	sum uint64
+
+	// bad lists word spans the device acked but never actually wrote
+	// (injected silent corruption). They are excluded from sum — which is
+	// exactly why the scrubber's recomputation catches them — and their
+	// objects are tombstoned, never returned, when the region is salvaged.
+	bad []wordSpan
+
+	// failed marks a region whose backing blocks went bad mid-run: data
+	// already written stays readable, further writes are refused, and the
+	// region is exempt from reclamation until the recovery layer salvages
+	// it (quarantine would otherwise race with freeRegion).
+	failed bool
+
+	// quarantined marks a region retired by the recovery layer: its
+	// still-referenced objects were re-materialized into H1 and the region
+	// is permanently out of service (never pushed back on the free list).
+	quarantined bool
+}
+
+// wordSpan is a [word, word+n) span of H2 word indices.
+type wordSpan struct {
+	word int64
+	n    int
+}
+
+// overlapsBad reports whether the sizeWords object at word overlaps a span
+// the device silently dropped.
+func (r *region) overlapsBad(word int64, sizeWords int) bool {
+	for _, s := range r.bad {
+		if word < s.word+int64(s.n) && s.word < word+int64(sizeWords) {
+			return true
+		}
+	}
+	return false
 }
 
 // reservation is one outstanding PrepareMove: an address and its size.
@@ -161,6 +202,12 @@ func (th *TeraHeap) segmentsPerRegion() int {
 // With size-segregated placement enabled, big objects use a separate
 // region chain for the label.
 func (th *TeraHeap) PrepareMove(label uint64, sizeWords int) (vm.Addr, bool) {
+	if th.admit != nil && !th.admit() {
+		// The recovery layer's circuit breaker holds H2 closed: route the
+		// object to the H1 path (§4's fallback, same as exhaustion) without
+		// consuming an injector decision for the move itself.
+		return vm.NullAddr, false
+	}
 	need := vm.Addr(sizeWords * vm.WordSize)
 	if int64(need) > th.cfg.RegionSize {
 		// Objects never span regions (§3.4).
@@ -197,7 +244,7 @@ func (th *TeraHeap) PrepareMove(label uint64, sizeWords int) (vm.Addr, bool) {
 func (th *TeraHeap) openRegion(label uint64, need vm.Addr) *region {
 	if id, ok := th.lookupOpen(label); ok {
 		r := th.regions[id]
-		if r.top+need <= r.end {
+		if r.top+need <= r.end && !r.failed {
 			return r
 		}
 	}
@@ -264,7 +311,27 @@ func (th *TeraHeap) flushRegion(r *region) {
 	if r.buf.pendingBytes == 0 {
 		return
 	}
-	for _, rec := range r.buf.recs {
+	// Silent corruption: the device acks the whole flush but drops one
+	// image. The simulator keeps the dropped words too — nothing may read
+	// through injected corruption and return a wrong answer — but the
+	// victim is excluded from the region checksum and its span recorded,
+	// so the loss is observable exactly the way a real scrub observes it.
+	victim := th.inj.CorruptFlush(len(r.buf.recs))
+	for i, rec := range r.buf.recs {
+		if i == victim {
+			r.bad = append(r.bad, wordSpan{word: rec.word, n: rec.n})
+		} else {
+			// Fold the staged words into the running checksum. Commit
+			// destinations are bump-allocated and regions are zeroed on
+			// reclaim, so the words being overwritten are zero and
+			// contribute nothing (csMix(w, 0) == 0): folding only the new
+			// values keeps the incremental sum equal to a full recompute.
+			sum := r.sum
+			for j, v := range r.buf.words[rec.off : rec.off+rec.n] {
+				sum ^= csMix(rec.word+int64(j), v)
+			}
+			r.sum = sum
+		}
 		th.mapped.StageWords(rec.word, r.buf.words[rec.off:rec.off+rec.n])
 	}
 	th.mapped.ChargeAsyncWrite(r.buf.pendingBytes)
@@ -283,6 +350,16 @@ func (th *TeraHeap) flushRegion(r *region) {
 	r.buf.words = r.buf.words[:0]
 	r.buf.recs = r.buf.recs[:0]
 	r.buf.pendingBytes = 0
+	if !r.failed && th.inj.RegionFlushFailed(r.id) {
+		// The device reports this region's blocks failing right after the
+		// flush was acknowledged (SMART-style grown defects): everything
+		// written so far stays readable, the region accepts no further
+		// allocations, and the latched RegionFailure wakes the recovery
+		// layer at the collector's next safepoint.
+		r.failed = true
+		th.stats.RegionsFailed++
+		th.deleteOpen(r.label, r.id)
+	}
 }
 
 // FlushBuffers drains every promotion buffer.
@@ -352,7 +429,10 @@ func (th *TeraHeap) union(a, b int) {
 func (th *TeraHeap) freeDeadRegions() {
 	if th.cfg.GroupMode == UnionFind {
 		for _, r := range th.regions {
-			if r == nil || r.empty() {
+			// Failed regions are exempt: the recovery layer owns them until
+			// salvage retires them (freeing one here would push it on the
+			// free list while a quarantine is pending).
+			if r == nil || r.empty() || r.failed {
 				continue
 			}
 			// r.live protects regions that received objects this cycle.
@@ -396,7 +476,7 @@ func (th *TeraHeap) freeDeadRegions() {
 	}
 	th.stackScratch = stack
 	for _, r := range th.regions {
-		if r == nil || r.empty() {
+		if r == nil || r.empty() || r.failed {
 			continue
 		}
 		if !reached[r.id] {
@@ -437,7 +517,75 @@ func (th *TeraHeap) freeRegion(r *region) {
 	th.reservedCount -= r.pendingResv()
 	r.resv = r.resv[:0]
 	r.resvHead = 0
+	r.sum = 0
+	r.bad = nil
 	th.freeRegions = append(th.freeRegions, r.id)
+}
+
+// RetireRegion takes a salvaged region permanently out of service: the
+// same metadata reset as freeRegion — the recovery layer has already moved
+// every live object out, so the region is logically empty — except the id
+// never returns to the free list (its backing blocks are bad) and no
+// reclamation snapshot is recorded (Fig 10 measures the paper's lazy
+// reclamation, not injected failures).
+func (th *TeraHeap) RetireRegion(id int) {
+	if id < 0 || id >= len(th.regions) || th.regions[id] == nil {
+		return
+	}
+	r := th.regions[id]
+	th.stats.RegionsQuarantined++
+	th.deleteOpen(r.label, r.id)
+	th.mapped.InvalidateWords(r.start.Word(vm.H2Base), r.used()/vm.WordSize)
+	th.mapped.ZeroWords(r.start.Word(vm.H2Base), r.used()/vm.WordSize)
+	firstSeg := th.segmentOf(r.start)
+	for i := 0; i < th.segmentsPerRegion(); i++ {
+		th.cards.set(firstSeg+i, cardClean)
+	}
+	for i := range r.segFirst {
+		r.segFirst[i] = vm.NullAddr
+	}
+	th.stats.DepNodes -= int64(len(r.deps))
+	r.top = r.start
+	r.label = 0
+	r.live = false
+	r.groupLive = false
+	r.objects = 0
+	r.deps = make(map[int]struct{})
+	r.buf.words = r.buf.words[:0]
+	r.buf.recs = r.buf.recs[:0]
+	r.buf.pendingBytes = 0
+	th.reservedCount -= r.pendingResv()
+	r.resv = r.resv[:0]
+	r.resvHead = 0
+	r.sum = 0
+	r.bad = nil
+	r.failed = false
+	r.quarantined = true
+}
+
+// QuarantinedRegions returns the number of regions retired by the
+// recovery layer.
+func (th *TeraHeap) QuarantinedRegions() int {
+	n := 0
+	for _, r := range th.regions {
+		if r != nil && r.quarantined {
+			n++
+		}
+	}
+	return n
+}
+
+// FailedRegions returns the ids of regions marked failed and not yet
+// salvaged, in region order (deterministic: the salvage pass iterates this
+// slice, never a map).
+func (th *TeraHeap) FailedRegions() []int {
+	var ids []int
+	for _, r := range th.regions {
+		if r != nil && r.failed && !r.quarantined {
+			ids = append(ids, r.id)
+		}
+	}
+	return ids
 }
 
 // PendingReservations returns the number of PrepareMove reservations not

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"github.com/carv-repro/teraheap-go/internal/vm"
+)
+
+// Salvage support: the core-side primitives the recovery layer
+// (internal/recovery) composes into a quarantine-and-salvage pass when a
+// region's backing blocks fail. The split of responsibilities: core knows
+// the region geometry, checksums, and metadata (this file); the recovery
+// layer owns the policy, the H1 re-materialization, and root/H1-field
+// remapping (it holds the collector, which core must not import).
+
+// SalvageObject describes one object in a failed region, in address order.
+type SalvageObject struct {
+	Addr      vm.Addr
+	SizeWords int
+	// Unreadable marks objects overlapping a silently-corrupted span: the
+	// device never wrote their image, so they must be tombstoned, never
+	// re-materialized.
+	Unreadable bool
+}
+
+// SalvageObjects parses the failed region id into its object list using
+// the costless peek path (the region's data — minus any corrupt spans —
+// is still readable; pricing happens when the survivors are actually
+// copied out). Returns nil if id is not a failed, unsalvaged region.
+func (th *TeraHeap) SalvageObjects(id int) []SalvageObject {
+	if id < 0 || id >= len(th.regions) {
+		return nil
+	}
+	r := th.regions[id]
+	if r == nil || !r.failed || r.quarantined {
+		return nil
+	}
+	var objs []SalvageObject
+	for a := r.start; a < r.top; {
+		size := th.peekSizeWords(a)
+		if size <= 0 {
+			// A zero-size header can only be the unreserved tail of the
+			// region (bump allocation never leaves gaps); stop parsing.
+			break
+		}
+		objs = append(objs, SalvageObject{
+			Addr:       a,
+			SizeWords:  size,
+			Unreadable: r.overlapsBad(a.Word(vm.H2Base), size),
+		})
+		a += vm.Addr(size * vm.WordSize)
+	}
+	return objs
+}
+
+// RewriteH2Refs rewrites every reference held by a healthy H2 object into
+// the dead region: remap returns the target's new address (possibly
+// vm.NullAddr for a tombstoned object) and whether the field must change.
+// Rewritten fields are charged device stores through the normal mapped
+// path (which also keeps the holder region's checksum current); non-null
+// new targets live in H1's old generation, so the holder's card segment is
+// raised to the backward-reference state the major scan expects. The
+// holder regions' dependency edges to the dead region are dropped.
+// Returns the number of fields rewritten.
+func (th *TeraHeap) RewriteH2Refs(dead int, remap func(vm.Addr) (vm.Addr, bool)) int {
+	rewritten := 0
+	for _, r := range th.regions {
+		if r == nil || r.id == dead || r.empty() || r.quarantined {
+			continue
+		}
+		for a := r.start; a < r.top; {
+			size := th.peekSizeWords(a)
+			if size <= 0 {
+				break
+			}
+			nrefs := th.peekNumRefs(a)
+			for i := 0; i < nrefs; i++ {
+				t := th.peekRef(a, i)
+				if t.IsNull() {
+					continue
+				}
+				nt, ok := remap(t)
+				if !ok {
+					continue
+				}
+				th.mem.SetRefAt(a, i, nt)
+				rewritten++
+				if !nt.IsNull() {
+					// The field now crosses H2→H1 (old gen): record the
+					// backward reference so the next major scan finds it.
+					th.NoteBackwardRef(a, false)
+				}
+			}
+			a += vm.Addr(size * vm.WordSize)
+		}
+		if th.cfg.GroupMode == DependencyLists {
+			if _, ok := r.deps[dead]; ok {
+				delete(r.deps, dead)
+				th.stats.DepNodes--
+			}
+		}
+	}
+	return rewritten
+}

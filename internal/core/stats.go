@@ -47,6 +47,14 @@ type Stats struct {
 	ForcedExhaustions int64
 	TornFlushReplays  int64
 
+	// Recovery counters: regions whose backing blocks failed persistently
+	// (write failure at flush, or a scrub-detected checksum mismatch),
+	// scrub passes that found a mismatch, and regions retired after
+	// salvage.
+	RegionsFailed      int64
+	ScrubMismatches    int64
+	RegionsQuarantined int64
+
 	RegionSnapshots []RegionSnapshot
 }
 

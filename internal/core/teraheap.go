@@ -147,17 +147,31 @@ type TeraHeap struct {
 	// buffer flushes per the run's fault plan.
 	inj *fault.Injector
 
+	// admit, when non-nil, gates PrepareMove: the recovery layer's circuit
+	// breaker returns false while H2 is held closed, routing promotions to
+	// the §4 H1 fallback.
+	admit func() bool
+
+	// scrubCursor is the round-robin position of the opportunistic
+	// checksum scrubber (ScrubStep).
+	scrubCursor int
+
 	stats Stats
 }
 
-// mappedMemory adapts a MappedFile to vm.Memory at vm.H2Base.
+// mappedMemory adapts a MappedFile to vm.Memory at vm.H2Base. It holds the
+// TeraHeap rather than the file so mutator stores can keep the per-region
+// checksum current (noteH2Store).
 type mappedMemory struct {
-	f *storage.MappedFile
+	th *TeraHeap
 }
 
-func (m mappedMemory) Load(a vm.Addr) uint64     { return m.f.Load(a.Word(vm.H2Base)) }
-func (m mappedMemory) Store(a vm.Addr, v uint64) { m.f.Store(a.Word(vm.H2Base), v) }
-func (m mappedMemory) Peek(a vm.Addr) uint64     { return m.f.PeekWord(a.Word(vm.H2Base)) }
+func (m mappedMemory) Load(a vm.Addr) uint64 { return m.th.mapped.Load(a.Word(vm.H2Base)) }
+func (m mappedMemory) Store(a vm.Addr, v uint64) {
+	m.th.noteH2Store(a, v)
+	m.th.mapped.Store(a.Word(vm.H2Base), v)
+}
+func (m mappedMemory) Peek(a vm.Addr) uint64 { return m.th.mapped.PeekWord(a.Word(vm.H2Base)) }
 
 // ConfigError is the typed error for an invalid TeraHeap configuration.
 // Bad configurations come from user input (experiment sweeps, CLI flags),
@@ -216,7 +230,7 @@ func NewChecked(cfg Config, dev *storage.Device, as *vm.AddressSpace, clock *sim
 		clock:  clock,
 		mapped: storage.NewMappedFile(dev, cfg.H2Size, cfg.PageSize, cfg.CacheBytes),
 	}
-	as.Map(vm.H2Base, vm.H2Base+vm.Addr(cfg.H2Size), mappedMemory{f: th.mapped})
+	as.Map(vm.H2Base, vm.H2Base+vm.Addr(cfg.H2Size), mappedMemory{th: th})
 	th.cards = newCardTable(cfg, int(numRegions))
 	return th, nil
 }
@@ -225,6 +239,12 @@ func NewChecked(cfg Config, dev *storage.Device, as *vm.AddressSpace, clock *sim
 // exhaustion and torn promotion-buffer flushes. The same injector should
 // be attached to the backing device so all decisions share one counter.
 func (th *TeraHeap) SetFaultInjector(in *fault.Injector) { th.inj = in }
+
+// SetAdmission installs (or, with nil, removes) the PrepareMove admission
+// gate. The recovery layer's circuit breaker uses it to hold H2 closed
+// after repeated persistent failures: a false return routes the promotion
+// to the §4 keep-it-in-H1 fallback.
+func (th *TeraHeap) SetAdmission(f func() bool) { th.admit = f }
 
 // AttachMem wires the object accessors (built after the collector) into
 // the card-table scanner.

@@ -19,9 +19,10 @@ type ChaosResult struct {
 
 // Counts buckets the runs by outcome. A run lands in exactly one bucket:
 // panicked (executor-recovered), faulted (latched persistent device
-// failure), oom, degraded (absorbed injected faults and still finished),
-// or healthy.
-func (r ChaosResult) Counts() (healthy, degraded, faulted, oom, panicked int) {
+// failure), oom, recovered (the self-healing layer repaired a persistent
+// failure and the run finished with a correct result), degraded (absorbed
+// injected faults and still finished), or healthy.
+func (r ChaosResult) Counts() (healthy, recovered, degraded, faulted, oom, panicked int) {
 	for _, run := range r.Runs {
 		switch {
 		case run.Failed:
@@ -30,6 +31,8 @@ func (r ChaosResult) Counts() (healthy, degraded, faulted, oom, panicked int) {
 			faulted++
 		case run.OOM:
 			oom++
+		case run.Recovered():
+			recovered++
 		case run.Degraded():
 			degraded++
 		default:
@@ -70,11 +73,16 @@ func (r ChaosResult) Format() string {
 			status = "FAULTED"
 		case run.OOM:
 			status = "OOM"
+		case run.Recovered():
+			status = "RECOVERED"
 		case run.Degraded():
 			status = "degraded"
 		}
 		fmt.Fprintf(&sb, "%-28s %-9s total=%-14v %s\n", run.Name, status,
 			run.B.Total().Round(time.Microsecond), run.FaultStats.String())
+		if run.Recovered() {
+			fmt.Fprintf(&sb, "  recovery: %s\n", run.Recovery.String())
+		}
 		if run.FailErr != "" {
 			line := run.FailErr
 			if i := strings.IndexByte(line, '\n'); i >= 0 {
@@ -83,9 +91,9 @@ func (r ChaosResult) Format() string {
 			fmt.Fprintf(&sb, "  cause: %s\n", line)
 		}
 	}
-	healthy, degraded, faulted, oom, panicked := r.Counts()
-	fmt.Fprintf(&sb, "healthy=%d degraded=%d faulted=%d oom=%d panicked=%d\n",
-		healthy, degraded, faulted, oom, panicked)
+	healthy, recovered, degraded, faulted, oom, panicked := r.Counts()
+	fmt.Fprintf(&sb, "healthy=%d recovered=%d degraded=%d faulted=%d oom=%d panicked=%d\n",
+		healthy, recovered, degraded, faulted, oom, panicked)
 	return sb.String()
 }
 

@@ -30,10 +30,10 @@ func TestChaosSurvivesFaultSchedule(t *testing.T) {
 	if len(res.Runs) != len(chaosSpecs(nil)) {
 		t.Fatalf("got %d runs, want %d", len(res.Runs), len(chaosSpecs(nil)))
 	}
-	healthy, degraded, faulted, oom, panicked := res.Counts()
-	if healthy+degraded+faulted+oom+panicked != len(res.Runs) {
-		t.Fatalf("outcome buckets don't partition the runs: %d+%d+%d+%d+%d != %d",
-			healthy, degraded, faulted, oom, panicked, len(res.Runs))
+	healthy, recovered, degraded, faulted, oom, panicked := res.Counts()
+	if healthy+recovered+degraded+faulted+oom+panicked != len(res.Runs) {
+		t.Fatalf("outcome buckets don't partition the runs: %d+%d+%d+%d+%d+%d != %d",
+			healthy, recovered, degraded, faulted, oom, panicked, len(res.Runs))
 	}
 	// The plan injects at visible rates into I/O-heavy runs: at least one
 	// run must have absorbed faults (degraded or worse) or the plane is
@@ -83,5 +83,43 @@ func TestChaosGlobalsRestored(t *testing.T) {
 	}
 	if FaultPlan() != nil {
 		t.Error("fault plan left installed after RunChaos")
+	}
+}
+
+// TestChaosRecoversFromPersistentRegionFailure is the self-healing layer's
+// end-to-end claim: a persistent-failure plan that pre-recovery ended runs
+// Faulted now completes every run, marks the TeraHeap runs Recovered, and
+// — because failed regions stay readable and salvage remaps every
+// reference — produces exactly the checksums of a fault-free execution.
+func TestChaosRecoversFromPersistentRegionFailure(t *testing.T) {
+	if testing.Short() || raceEnabled {
+		t.Skip("two full chaos schedules: skipped in -short mode and under the race detector (deterministic-replay property, no concurrency; the package would exceed the default test timeout)")
+	}
+	plan, err := fault.ParsePlan("seed=1,region-fail=0.02")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := RunChaos(plan)
+	if res.Panicked() {
+		t.Fatalf("chaos run panicked:\n%s", res.Format())
+	}
+	_, recovered, _, faulted, oom, _ := res.Counts()
+	if faulted != 0 || oom != 0 {
+		t.Fatalf("faulted=%d oom=%d under a survivable plan, want 0/0:\n%s", faulted, oom, res.Format())
+	}
+	if recovered == 0 {
+		t.Fatalf("no run recovered under a persistent region-failure plan:\n%s", res.Format())
+	}
+	base := RunChaos(nil)
+	for i, run := range res.Runs {
+		if run.Checksum != base.Runs[i].Checksum {
+			t.Errorf("%s: checksum %g after salvage != fault-free %g — recovery changed the answer",
+				run.Name, run.Checksum, base.Runs[i].Checksum)
+		}
+	}
+	for _, run := range res.Runs {
+		if run.Recovered() && (run.Recovery.RegionsQuarantined == 0 || run.Recovery.SalvagedObjects == 0) {
+			t.Errorf("%s marked recovered without salvage activity: %s", run.Name, run.Recovery)
+		}
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"github.com/carv-repro/teraheap-go/internal/graphx"
 	"github.com/carv-repro/teraheap-go/internal/metrics"
 	"github.com/carv-repro/teraheap-go/internal/mllib"
+	"github.com/carv-repro/teraheap-go/internal/recovery"
 	"github.com/carv-repro/teraheap-go/internal/rt"
 	"github.com/carv-repro/teraheap-go/internal/serde"
 	"github.com/carv-repro/teraheap-go/internal/simclock"
@@ -103,12 +104,24 @@ type RunResult struct {
 	FinalLowThreshold float64
 	// H2UsedBytes is the second heap's live allocation at run end.
 	H2UsedBytes int64
+
+	// Recovery snapshots the self-healing layer's counters (TeraHeap runs
+	// with recovery installed only).
+	Recovery *recovery.Stats
 }
 
 // Degraded reports a run that absorbed injected faults and still completed:
 // the graceful-degradation regime the fault plane exists to exercise.
 func (r RunResult) Degraded() bool {
 	return r.FaultStats.Any() && !r.Faulted && !r.Failed && !r.OOM
+}
+
+// Recovered reports a run the self-healing layer actively repaired — a
+// salvage, quarantine, or breaker trip — that still completed with a
+// correct result. It refines Degraded: every Recovered run is Degraded,
+// but a run that merely absorbed transient faults is not Recovered.
+func (r RunResult) Recovered() bool {
+	return r.Recovery != nil && r.Recovery.Active() && !r.Faulted && !r.Failed && !r.OOM
 }
 
 // Row converts the result to a metrics row.
@@ -126,6 +139,10 @@ func (r RunResult) RowNamed(name string) metrics.Row {
 		} else {
 			row.Note = r.FailErr
 		}
+	}
+	if r.Recovered() {
+		row.Recovered = true
+		row.Note = r.Recovery.String()
 	}
 	return row
 }
@@ -402,6 +419,7 @@ func RunSpark(cfg SparkRun) RunResult {
 		res.H2UsedBytes = th.UsedBytes()
 	}
 	res.FaultStats = ses.Injector.Stats()
+	res.Recovery = ses.RecoveryStats()
 	if err != nil {
 		var oom *gc.OOMError
 		var flt *gc.FaultError

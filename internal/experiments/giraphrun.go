@@ -127,6 +127,7 @@ func RunGiraph(cfg GiraphRun) RunResult {
 			res.H2UsedBytes = th.UsedBytes()
 		}
 		res.FaultStats = ses.Injector.Stats()
+		res.Recovery = ses.RecoveryStats()
 		if err != nil {
 			var oom *gc.OOMError
 			var flt *gc.FaultError
@@ -142,7 +143,7 @@ func RunGiraph(cfg GiraphRun) RunResult {
 			noteOutcome(res)
 			return res
 		}
-		if f := ses.Injector.Failure(); f != nil && !res.Faulted {
+		if f := ses.Fault(); f != nil && !res.Faulted {
 			res.Faulted = true
 			res.FailErr = f.Error()
 		}

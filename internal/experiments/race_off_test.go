@@ -1,0 +1,10 @@
+//go:build !race
+
+package experiments
+
+// raceEnabled reports whether the race detector is compiled in. The
+// heaviest end-to-end tests (two full chaos schedules back to back) skip
+// under it: their properties are deterministic-replay ones the detector
+// adds nothing to, and the ~10x slowdown would push the package past the
+// default go-test timeout.
+const raceEnabled = false

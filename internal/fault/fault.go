@@ -2,7 +2,8 @@
 // TeraHeap simulator. A Plan describes which faults to inject (transient
 // device errors, latency spikes, bandwidth brown-outs, page-cache
 // writeback failures, torn promotion-buffer flushes, forced H2 region
-// exhaustion) and an Injector makes the per-operation decisions.
+// exhaustion, persistent per-region failures, silent flush corruption)
+// and an Injector makes the per-operation decisions.
 //
 // Every decision is a pure function of (seed, monotonic op counter): no
 // wall clock, no shared global PRNG. Each simulated run owns exactly one
@@ -40,6 +41,24 @@ func (e *DeviceFailure) Error() string {
 		e.Op, e.OpIndex, e.Attempts)
 }
 
+// RegionFailure is the latched per-region persistent-failure record: a
+// promotion-buffer flush hit a region whose backing blocks have gone bad.
+// Unlike DeviceFailure the device as a whole still works — data already in
+// the region stays readable and other regions accept writes — so the
+// recovery layer can salvage the region instead of ending the run. It is
+// an error so it can be wrapped into the collector's latched fault when no
+// recovery layer absorbs it.
+type RegionFailure struct {
+	Region  int   // H2 region index that failed
+	OpIndex int64 // monotonic decision index of the failing flush
+}
+
+// Error describes the failure.
+func (e *RegionFailure) Error() string {
+	return fmt.Sprintf("fault: persistent write failure in H2 region %d at op %d",
+		e.Region, e.OpIndex)
+}
+
 // Stats counts injected faults and the recovery work they caused.
 type Stats struct {
 	Decisions       int64 // PRNG decisions consumed
@@ -51,19 +70,23 @@ type Stats struct {
 	WritebackFails  int64
 	TornFlushes     int64
 	H2Exhaustions   int64
+	RegionFailures  int64 // persistent per-region write failures
+	CorruptImages   int64 // object images silently lost during a flush
 }
 
 // Any reports whether any fault was injected.
 func (s Stats) Any() bool {
 	return s.TransientErrors > 0 || s.LatencySpikes > 0 || s.BrownedOutOps > 0 ||
-		s.WritebackFails > 0 || s.TornFlushes > 0 || s.H2Exhaustions > 0
+		s.WritebackFails > 0 || s.TornFlushes > 0 || s.H2Exhaustions > 0 ||
+		s.RegionFailures > 0 || s.CorruptImages > 0
 }
 
 // String summarizes the injected faults in one compact line.
 func (s Stats) String() string {
-	return fmt.Sprintf("errs=%d retries=%d backoff=%v spikes=%d brownout=%d wbfail=%d torn=%d h2ex=%d",
+	return fmt.Sprintf("errs=%d retries=%d backoff=%v spikes=%d brownout=%d wbfail=%d torn=%d h2ex=%d rgnfail=%d corrupt=%d",
 		s.TransientErrors, s.Retries, s.BackoffTime, s.LatencySpikes,
-		s.BrownedOutOps, s.WritebackFails, s.TornFlushes, s.H2Exhaustions)
+		s.BrownedOutOps, s.WritebackFails, s.TornFlushes, s.H2Exhaustions,
+		s.RegionFailures, s.CorruptImages)
 }
 
 // Injector makes the fault decisions for one simulated run. It is NOT safe
@@ -75,7 +98,8 @@ type Injector struct {
 	ops   int64 // monotonic decision counter
 	stats Stats
 
-	failure *DeviceFailure
+	failure     *DeviceFailure
+	regionFault *RegionFailure
 }
 
 // NewInjector builds an injector for one run of the plan. A nil plan
@@ -103,6 +127,40 @@ func (in *Injector) Failure() *DeviceFailure {
 		return nil
 	}
 	return in.failure
+}
+
+// RegionFault returns the latched per-region failure, if any. Nil-safe.
+func (in *Injector) RegionFault() *RegionFailure {
+	if in == nil {
+		return nil
+	}
+	return in.regionFault
+}
+
+// ClearFailure unlatches the persistent device failure after a recovery
+// layer has absorbed it. Nil-safe.
+func (in *Injector) ClearFailure() {
+	if in != nil {
+		in.failure = nil
+	}
+}
+
+// ClearRegionFault unlatches the per-region failure after a recovery layer
+// has quarantined and salvaged the region. Nil-safe.
+func (in *Injector) ClearRegionFault() {
+	if in != nil {
+		in.regionFault = nil
+	}
+}
+
+// Ops returns the monotonic decision counter — the recovery layer's only
+// notion of time (breaker windows and cooldowns are measured in decisions,
+// never in wall clock). Nil-safe.
+func (in *Injector) Ops() int64 {
+	if in == nil {
+		return 0
+	}
+	return in.ops
 }
 
 // splitmix64 is the finalizer of the SplitMix64 generator: a bijective
@@ -224,4 +282,62 @@ func (in *Injector) H2Exhausted() bool {
 		return true
 	}
 	return false
+}
+
+// RegionFlushFailed reports whether this promotion-buffer flush leaves its
+// region persistently failed (bad blocks: existing data readable, further
+// writes refused). The first hit latches a RegionFailure for the collector
+// to poll; further hits on other regions still mark those regions failed
+// so one salvage pass can handle them all. Nil-safe.
+func (in *Injector) RegionFlushFailed(region int) bool {
+	if in == nil || in.plan.RegionFailRate <= 0 {
+		return false
+	}
+	if in.roll() < in.plan.RegionFailRate {
+		in.stats.RegionFailures++
+		if in.regionFault == nil {
+			in.regionFault = &RegionFailure{Region: region, OpIndex: in.ops}
+		}
+		return true
+	}
+	return false
+}
+
+// CorruptFlush reports whether this flush silently loses one of its nRecs
+// staged object images, returning the victim's index or -1. The device
+// acks the flush, so nothing notices until the region's checksum is
+// recomputed. Nil-safe.
+func (in *Injector) CorruptFlush(nRecs int) int {
+	if in == nil || in.plan.CorruptRate <= 0 || nRecs <= 0 {
+		return -1
+	}
+	if in.roll() < in.plan.CorruptRate {
+		in.stats.CorruptImages++
+		v := int(in.roll() * float64(nRecs))
+		if v >= nRecs {
+			v = nRecs - 1
+		}
+		return v
+	}
+	return -1
+}
+
+// Probe prices one half-open circuit-breaker probe against the device: it
+// succeeds when neither the transient-error nor the region-failure lottery
+// hits. Probes consume regular decisions — breaker time is the op counter,
+// not the wall clock — and charge no simulated time (the probe models an
+// O(1) health check against device state the host already tracks).
+// Nil-safe: with no injector there is nothing to fail, so probes succeed.
+func (in *Injector) Probe() bool {
+	if in == nil {
+		return true
+	}
+	ok := true
+	if in.plan.DevErrRate > 0 && in.roll() < in.plan.DevErrRate {
+		ok = false
+	}
+	if in.plan.RegionFailRate > 0 && in.roll() < in.plan.RegionFailRate {
+		ok = false
+	}
+	return ok
 }

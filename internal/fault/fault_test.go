@@ -214,3 +214,136 @@ func TestParsePlanErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestParsePlanNewKeysRoundTrip(t *testing.T) {
+	p, err := ParsePlan("seed=5,region-fail=0.25,corrupt=0.125")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.RegionFailRate != 0.25 || p.CorruptRate != 0.125 {
+		t.Fatalf("rates = %g/%g, want 0.25/0.125", p.RegionFailRate, p.CorruptRate)
+	}
+	p2, err := ParsePlan(p.String())
+	if err != nil {
+		t.Fatalf("round-trip parse of %q: %v", p.String(), err)
+	}
+	if *p2 != *p {
+		t.Fatalf("round trip changed plan: %+v vs %+v", *p2, *p)
+	}
+}
+
+func TestParsePlanDuplicateKey(t *testing.T) {
+	for _, src := range []string{
+		"seed=1,seed=2",
+		"dev-err=0.1,spike=0.2,dev-err=0.1",
+		"brownout=100:10,brownout=100:10",
+	} {
+		_, err := ParsePlan(src)
+		if err == nil {
+			t.Errorf("ParsePlan(%q) accepted a duplicate key", src)
+			continue
+		}
+		if !strings.Contains(err.Error(), "duplicate plan key") {
+			t.Errorf("ParsePlan(%q) error %q does not name the duplicate", src, err)
+		}
+	}
+	// The error must name the offending token, not just the key.
+	_, err := ParsePlan("seed=1,seed=2")
+	if err == nil || !strings.Contains(err.Error(), `"seed=2"`) {
+		t.Errorf("duplicate-key error %v does not quote the offending token", err)
+	}
+}
+
+func TestParsePlanRejectsNonFinite(t *testing.T) {
+	for _, bad := range []string{
+		"dev-err=NaN",
+		"torn=nan",
+		"region-fail=+Inf",
+		"spike=0.1xNaN",
+		"spike=0.1xInf",
+		"brownout=100:10xInf",
+		"region-fail=2",
+		"corrupt=-0.1",
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted a non-finite or out-of-range value", bad)
+		}
+	}
+}
+
+func TestRegionFlushFailedLatchesPerRegion(t *testing.T) {
+	in := NewInjector(&Plan{Seed: 7, RegionFailRate: 1})
+	if !in.RegionFlushFailed(3) {
+		t.Fatal("rate-1 region failure did not fire")
+	}
+	rf := in.RegionFault()
+	if rf == nil || rf.Region != 3 {
+		t.Fatalf("RegionFault = %+v, want latched for region 3", rf)
+	}
+	if !strings.Contains(rf.Error(), "region 3") {
+		t.Fatalf("error text %q does not name the region", rf.Error())
+	}
+	// The latch keeps the first failure; later failures still report true
+	// (their regions are marked) without overwriting it.
+	if !in.RegionFlushFailed(9) {
+		t.Fatal("second region failure did not fire")
+	}
+	if got := in.RegionFault().Region; got != 3 {
+		t.Fatalf("latch overwritten: region %d, want 3", got)
+	}
+	if got := in.Stats().RegionFailures; got != 2 {
+		t.Fatalf("RegionFailures = %d, want 2", got)
+	}
+	in.ClearRegionFault()
+	if in.RegionFault() != nil {
+		t.Fatal("ClearRegionFault left the latch set")
+	}
+}
+
+func TestRegionFailZeroRateConsumesNoDecisions(t *testing.T) {
+	in := NewInjector(&Plan{Seed: 7})
+	for i := 0; i < 10; i++ {
+		if in.RegionFlushFailed(i) {
+			t.Fatal("zero-rate plan failed a region")
+		}
+		if in.CorruptFlush(8) != -1 {
+			t.Fatal("zero-rate plan corrupted a flush")
+		}
+	}
+	if in.Ops() != 0 {
+		t.Fatalf("zero-rate region/corrupt checks consumed %d decisions; inertness broken", in.Ops())
+	}
+}
+
+func TestCorruptFlushPicksVictimInRange(t *testing.T) {
+	in := NewInjector(&Plan{Seed: 11, CorruptRate: 1})
+	for i := 0; i < 50; i++ {
+		n := 1 + i%7
+		v := in.CorruptFlush(n)
+		if v < 0 || v >= n {
+			t.Fatalf("victim %d out of range [0,%d)", v, n)
+		}
+	}
+	if got := in.Stats().CorruptImages; got != 50 {
+		t.Fatalf("CorruptImages = %d, want 50", got)
+	}
+	if in.CorruptFlush(0) != -1 {
+		t.Fatal("empty flush reported a victim")
+	}
+}
+
+func TestProbe(t *testing.T) {
+	var nilInj *Injector
+	if !nilInj.Probe() {
+		t.Fatal("nil injector probe failed")
+	}
+	if NewInjector(&Plan{Seed: 1, RegionFailRate: 1}).Probe() {
+		t.Fatal("probe succeeded against region-fail=1")
+	}
+	if NewInjector(&Plan{Seed: 1, DevErrRate: 1}).Probe() {
+		t.Fatal("probe succeeded against dev-err=1")
+	}
+	if !NewInjector(&Plan{Seed: 1}).Probe() {
+		t.Fatal("probe failed on a healthy device")
+	}
+}

@@ -1,0 +1,88 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePlan fuzzes the -fault DSL parser. Properties:
+//
+//  1. ParsePlan never panics, whatever the input.
+//  2. Accepted plans are canonical: String() re-parses to an equal Plan
+//     (the determinism story depends on this — a plan echoed into a log
+//     or CI matrix must mean the same schedule when pasted back).
+//  3. Accepted plans carry finite rates in [0,1] and factors > 1, so no
+//     NaN/Inf can reach the injector's arithmetic.
+//  4. A plan with any duplicated key is always rejected.
+//
+// The seed corpus is the README's and CI's real plans plus each key's
+// documented syntax.
+func FuzzParsePlan(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"seed=1,dev-err=0.01,wb-fail=0.05",
+		"seed=1,dev-err=0.02,spike=0.01,brownout=4000:200,wb-fail=0.05,torn=0.05,h2-exhaust=0.02",
+		"seed=42,dev-err=0.2,max-retries=2,backoff=10us",
+		"seed=7,dev-err=0.01,max-retries=5,backoff=25us,spike=0.02x16,brownout=1000:50x6,wb-fail=0.03,torn=0.04,h2-exhaust=0.05",
+		"seed=5,region-fail=0.25,corrupt=0.125",
+		"region-fail=1",
+		"corrupt=0.5",
+		"spike=0.1x8",
+		"brownout=100:10",
+		"brownout=100:10x4",
+		"backoff=1ms",
+		"seed=18446744073709551615",
+		"dev-err=1.5",
+		"dev-err=NaN",
+		"spike=0.1xInf",
+		"seed=1,seed=2",
+		"nonsense",
+		"=",
+		"a=b=c",
+		",,,",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParsePlan(src)
+		if err != nil {
+			return
+		}
+		// Property 2: canonical round trip.
+		rendered := p.String()
+		p2, err := ParsePlan(rendered)
+		if err != nil {
+			t.Fatalf("ParsePlan(%q) accepted, but its rendering %q does not re-parse: %v", src, rendered, err)
+		}
+		if *p2 != *p {
+			t.Fatalf("round trip changed plan: %q -> %+v -> %q -> %+v", src, *p, rendered, *p2)
+		}
+		// Property 3: every accepted numeric field is finite and in range.
+		for name, r := range map[string]float64{
+			"dev-err": p.DevErrRate, "spike": p.SpikeRate,
+			"wb-fail": p.WritebackFailRate, "torn": p.TornFlushRate,
+			"h2-exhaust": p.H2ExhaustRate, "region-fail": p.RegionFailRate,
+			"corrupt": p.CorruptRate,
+		} {
+			if !(r >= 0 && r <= 1) { // also catches NaN
+				t.Fatalf("accepted %s rate %g outside [0,1] (src %q)", name, r, src)
+			}
+		}
+		for name, v := range map[string]float64{
+			"spike factor": p.SpikeFactor, "brownout factor": p.BrownoutFactor,
+		} {
+			if v != 0 && (!(v > 1) || v > 1e308) {
+				t.Fatalf("accepted %s %g (src %q)", name, v, src)
+			}
+		}
+		// Property 4: duplicating any token of an accepted plan is an error.
+		if src != "" && !strings.Contains(src, " ") {
+			first, _, _ := strings.Cut(src, ",")
+			if strings.Contains(first, "=") {
+				if _, err := ParsePlan(src + "," + first); err == nil {
+					t.Fatalf("duplicated token %q accepted after valid plan %q", first, src)
+				}
+			}
+		}
+	})
+}

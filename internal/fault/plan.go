@@ -2,6 +2,7 @@ package fault
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -46,6 +47,20 @@ type Plan struct {
 	// H2ExhaustRate forces PrepareMove failures, exercising the paper's
 	// keep-it-in-H1 degradation path.
 	H2ExhaustRate float64
+
+	// RegionFailRate is the probability that a promotion-buffer flush
+	// leaves its H2 region persistently failed (SMART-style bad blocks:
+	// already-written data stays readable, further writes are refused).
+	// The failure latches per region and is survivable only through the
+	// recovery layer's quarantine-and-salvage pass.
+	RegionFailRate float64
+
+	// CorruptRate is the probability that a flush silently loses one
+	// staged object image (the device acks the flush but drops a write).
+	// The loss is invisible until the region's checksum is recomputed —
+	// the scrubber's job — and the affected objects are tombstoned during
+	// salvage, never returned as wrong answers.
+	CorruptRate float64
 }
 
 // applyDefaults fills the recovery knobs that must be positive.
@@ -98,6 +113,12 @@ func (p *Plan) String() string {
 	if p.H2ExhaustRate > 0 {
 		parts = append(parts, fmt.Sprintf("h2-exhaust=%g", p.H2ExhaustRate))
 	}
+	if p.RegionFailRate > 0 {
+		parts = append(parts, fmt.Sprintf("region-fail=%g", p.RegionFailRate))
+	}
+	if p.CorruptRate > 0 {
+		parts = append(parts, fmt.Sprintf("corrupt=%g", p.CorruptRate))
+	}
 	return strings.Join(parts, ",")
 }
 
@@ -113,12 +134,16 @@ func (p *Plan) String() string {
 //	wb-fail=P          page-cache writeback failure probability
 //	torn=P             torn promotion-buffer flush probability
 //	h2-exhaust=P       forced PrepareMove (H2 exhaustion) probability
+//	region-fail=P      persistent per-region H2 write failure probability
+//	corrupt=P          silent flush corruption (lost object image) probability
 //
-// Unknown keys, malformed values, and out-of-range probabilities are
-// errors: a chaos schedule that silently ignores a typo would "pass" while
-// testing nothing.
+// Unknown keys, duplicate keys, malformed values, and out-of-range
+// probabilities are errors: a chaos schedule that silently ignores a typo
+// — or lets a later key override an earlier one — would "pass" while
+// testing something other than what was written.
 func ParsePlan(s string) (*Plan, error) {
 	p := &Plan{Seed: 1}
+	seen := make(map[string]bool)
 	for _, kv := range strings.Split(s, ",") {
 		kv = strings.TrimSpace(kv)
 		if kv == "" {
@@ -128,6 +153,10 @@ func ParsePlan(s string) (*Plan, error) {
 		if !ok {
 			return nil, fmt.Errorf("fault: %q is not key=value", kv)
 		}
+		if seen[key] {
+			return nil, fmt.Errorf("fault: duplicate plan key %q (in token %q)", key, kv)
+		}
+		seen[key] = true
 		var err error
 		switch key {
 		case "seed":
@@ -154,8 +183,12 @@ func ParsePlan(s string) (*Plan, error) {
 			p.TornFlushRate, err = parseRate(key, val)
 		case "h2-exhaust":
 			p.H2ExhaustRate, err = parseRate(key, val)
+		case "region-fail":
+			p.RegionFailRate, err = parseRate(key, val)
+		case "corrupt":
+			p.CorruptRate, err = parseRate(key, val)
 		default:
-			return nil, fmt.Errorf("fault: unknown plan key %q (valid: seed, dev-err, max-retries, backoff, spike, brownout, wb-fail, torn, h2-exhaust)", key)
+			return nil, fmt.Errorf("fault: unknown plan key %q (valid: seed, dev-err, max-retries, backoff, spike, brownout, wb-fail, torn, h2-exhaust, region-fail, corrupt)", key)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("fault: bad %s=%s: %w", key, val, err)
@@ -170,7 +203,8 @@ func parseRate(key, val string) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if r < 0 || r > 1 {
+	// NaN fails every comparison, so test for validity, not invalidity.
+	if !(r >= 0 && r <= 1) {
 		return 0, fmt.Errorf("%s must be a probability in [0,1]", key)
 	}
 	return r, nil
@@ -188,9 +222,14 @@ func parseRateFactor(key, val string) (rate, factor float64, err error) {
 		if err != nil {
 			return 0, 0, err
 		}
-		if factor <= 1 {
-			return 0, 0, fmt.Errorf("%s factor must be > 1", key)
+		if !(factor > 1) || math.IsInf(factor, 1) {
+			return 0, 0, fmt.Errorf("%s factor must be a finite number > 1", key)
 		}
+	}
+	if rate == 0 {
+		// A zero-rate knob never fires, so its factor is unobservable;
+		// normalize it away so String() stays a canonical round trip.
+		factor = 0
 	}
 	return rate, factor, nil
 }
@@ -219,8 +258,8 @@ func parseBrownout(val string, p *Plan) error {
 		if err != nil {
 			return err
 		}
-		if f <= 1 {
-			return fmt.Errorf("brownout factor must be > 1")
+		if !(f > 1) || math.IsInf(f, 1) {
+			return fmt.Errorf("brownout factor must be a finite number > 1")
 		}
 		p.BrownoutFactor = f
 	}

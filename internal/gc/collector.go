@@ -72,10 +72,13 @@ func (e *OOMError) Error() string {
 }
 
 // FaultError reports that the storage backing the heap failed persistently
-// (a device operation exhausted its retry budget). Like OOMError it latches
-// on the collector: the run ends as a structured failure, never a panic.
+// — a device operation exhausted its retry budget (fault.DeviceFailure) or
+// an H2 region's backing blocks went bad (fault.RegionFailure). Like
+// OOMError it latches on the collector: the run ends as a structured
+// failure, never a panic — unless a recovery hook absorbs the fault from
+// inside OnFault (see AbsorbFault), in which case the run continues.
 type FaultError struct {
-	Cause *fault.DeviceFailure
+	Cause error
 }
 
 // Error describes the failure.
@@ -238,19 +241,35 @@ func (c *Collector) SetFaultInjector(in *fault.Injector) { c.inj = in }
 func (c *Collector) Fault() *FaultError { return c.flt }
 
 // pollFault latches (and returns) a FaultError once the injector reports a
-// persistent device failure. Checked at allocation and GC boundaries so a
-// device that died mid-phase surfaces as a structured error on the next
-// safepoint rather than a panic inside the phase.
+// persistent device or region failure. Checked at allocation and GC
+// boundaries so a device that died mid-phase surfaces as a structured
+// error on the next safepoint rather than a panic inside the phase. These
+// poll sites are also the recovery layer's safepoints: promotion buffers
+// are flushed and the heap is parse-consistent here, so an OnFault hook
+// may salvage the damage and absorb the fault (the post-dispatch re-read
+// of c.flt picks that up and the run continues fault-free).
 func (c *Collector) pollFault() *FaultError {
 	if c.flt != nil {
 		return c.flt
 	}
+	var cause error
 	if f := c.inj.Failure(); f != nil {
-		c.flt = &FaultError{Cause: f}
+		cause = f
+	} else if rf := c.inj.RegionFault(); rf != nil {
+		cause = rf
+	}
+	if cause != nil {
+		c.flt = &FaultError{Cause: cause}
 		c.hooks.OnFault(c.flt)
 	}
 	return c.flt
 }
+
+// AbsorbFault clears the latched fault. For recovery hooks only: legal
+// exclusively from inside OnFault, after the damage the fault describes
+// has been repaired (failed regions salvaged, injector latches cleared) —
+// otherwise the next pollFault re-latches the same fault immediately.
+func (c *Collector) AbsorbFault() { c.flt = nil }
 
 // latchOOM records the out-of-memory condition (subsequent allocations
 // fail fast on it) and fires the on-OOM lifecycle event exactly once.
@@ -420,6 +439,17 @@ func (c *Collector) allocOld(sizeWords int) (vm.Addr, bool) {
 		c.noteOldAlloc(a)
 	}
 	return a, ok
+}
+
+// SalvageAllocOld carves old-gen space for one object image re-materialized
+// from a quarantined H2 region (the §4 fallback direction, driven by the
+// recovery layer instead of a failed PrepareMove). It maintains the object
+// start array like every other old allocation but never triggers a GC:
+// salvage runs at a safepoint where a nested collection would be unsound,
+// so the recovery layer pre-checks capacity and treats false as
+// salvage-failed (the fault stays latched).
+func (c *Collector) SalvageAllocOld(sizeWords int) (vm.Addr, bool) {
+	return c.allocOld(sizeWords)
 }
 
 // noteOldAlloc maintains the object start array for dirty-card scanning.

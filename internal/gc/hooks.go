@@ -9,7 +9,11 @@ package gc
 // Hooks observe; they must not mutate the heap, allocate in it, or charge
 // simulated time, so a run's results are byte-identical with any set of
 // hooks registered. (The verifier hook enforces its findings by panicking
-// with a structured report, which is an abort, not a mutation.)
+// with a structured report, which is an abort, not a mutation.) The one
+// sanctioned exception is the recovery layer (internal/recovery): its
+// OnFault fires only at collector safepoints and only after a fault has
+// already perturbed the run, so the byte-identity contract — which is
+// quantified over fault-free runs — is preserved.
 
 // Phase identifies the collection type a lifecycle event belongs to.
 type Phase int
@@ -69,6 +73,13 @@ func (BaseHook) OnOOM(error) {}
 // The zero value is an empty, usable list. Like the collector itself it is
 // not safe for concurrent mutation: a run is single-threaded by
 // construction.
+//
+// Mutation during dispatch is allowed: each fan-out iterates the list as
+// registered when the event fired, so a hook that registers, removes, or
+// removes *itself* from inside a callback never perturbs the in-flight
+// event — a hook added during dispatch first sees the next event, and a
+// hook removed during dispatch still sees the current one. The recovery
+// layer relies on this to retire itself from inside OnFault.
 type Hooks struct {
 	list []Hook
 }
@@ -86,11 +97,17 @@ func (hs *Hooks) RegisterFirst(h Hook) {
 }
 
 // Remove deletes the first registered hook equal to h, preserving order.
-// It reports whether a hook was removed.
+// It reports whether a hook was removed. The removal is copy-on-write so
+// an in-flight fan-out (which holds the old slice header) is never
+// perturbed — required for hooks that remove themselves from inside a
+// callback.
 func (hs *Hooks) Remove(h Hook) bool {
 	for i, x := range hs.list {
 		if x == h {
-			hs.list = append(hs.list[:i], hs.list[i+1:]...)
+			next := make([]Hook, 0, len(hs.list)-1)
+			next = append(next, hs.list[:i]...)
+			next = append(next, hs.list[i+1:]...)
+			hs.list = next
 			return true
 		}
 	}

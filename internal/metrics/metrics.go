@@ -18,7 +18,11 @@ type Row struct {
 	B     simclock.Breakdown
 	OOM   bool
 	Fault bool // the run ended on a latched storage fault (fault plane)
-	Note  string
+	// Recovered marks a run the self-healing layer repaired (region
+	// salvage, quarantine, or breaker trip) that still finished with a
+	// correct result; its timings are valid and rendered normally.
+	Recovered bool
+	Note      string
 }
 
 // FormatBreakdown renders rows as an aligned table with one column per
@@ -51,6 +55,10 @@ func FormatBreakdown(title string, rows []Row, normalize bool) string {
 		if normalize && base > 0 {
 			norm = fmt.Sprintf("%.3f", float64(r.B.Total())/float64(base))
 		}
+		note := r.Note
+		if r.Recovered {
+			note = strings.TrimSpace("RECOVERED " + note)
+		}
 		fmt.Fprintf(&sb, "%-28s %10s %10s %10s %10s %10s %8s %s\n",
 			r.Name,
 			fmtDur(r.B.Total()),
@@ -58,27 +66,30 @@ func FormatBreakdown(title string, rows []Row, normalize bool) string {
 			fmtDur(r.B.Get(simclock.SerDesIO)),
 			fmtDur(r.B.Get(simclock.MinorGC)),
 			fmtDur(r.B.Get(simclock.MajorGC)),
-			norm, r.Note)
+			norm, note)
 	}
 	return sb.String()
 }
 
 // CSVBreakdown renders rows as CSV with columns name,total_ns,other_ns,
-// sdio_ns,minor_ns,major_ns,oom,fault.
+// sdio_ns,minor_ns,major_ns,oom,fault,recovered.
 func CSVBreakdown(rows []Row) string {
 	var sb strings.Builder
-	sb.WriteString("name,total_ns,other_ns,sdio_ns,minor_ns,major_ns,oom,fault\n")
+	sb.WriteString("name,total_ns,other_ns,sdio_ns,minor_ns,major_ns,oom,fault,recovered\n")
 	for _, r := range rows {
-		oom, flt := 0, 0
+		oom, flt, rec := 0, 0, 0
 		if r.OOM {
 			oom = 1
 		}
 		if r.Fault {
 			flt = 1
 		}
-		fmt.Fprintf(&sb, "%s,%d,%d,%d,%d,%d,%d,%d\n", r.Name,
+		if r.Recovered {
+			rec = 1
+		}
+		fmt.Fprintf(&sb, "%s,%d,%d,%d,%d,%d,%d,%d,%d\n", r.Name,
 			int64(r.B.Total()), r.B.NS[simclock.Other], r.B.NS[simclock.SerDesIO],
-			r.B.NS[simclock.MinorGC], r.B.NS[simclock.MajorGC], oom, flt)
+			r.B.NS[simclock.MinorGC], r.B.NS[simclock.MajorGC], oom, flt, rec)
 	}
 	return sb.String()
 }

@@ -8,6 +8,7 @@ import (
 	"github.com/carv-repro/teraheap-go/internal/fault"
 	"github.com/carv-repro/teraheap-go/internal/gc"
 	"github.com/carv-repro/teraheap-go/internal/heap"
+	"github.com/carv-repro/teraheap-go/internal/recovery"
 	"github.com/carv-repro/teraheap-go/internal/simclock"
 	"github.com/carv-repro/teraheap-go/internal/storage"
 	"github.com/carv-repro/teraheap-go/internal/vm"
@@ -98,6 +99,10 @@ type Spec struct {
 	// attaches it to the device and runtime. Each session gets its own
 	// injector, so concurrent sessions never share fault state.
 	FaultPlan *fault.Plan
+	// Recovery configures the self-healing layer (KindTH only). Nil
+	// installs recovery.DefaultPolicy; a policy with Enabled=false opts
+	// out, restoring the latch-and-degrade behavior.
+	Recovery *recovery.Policy
 }
 
 // Session is a fully wired runtime instance: the runtime itself plus the
@@ -121,6 +126,9 @@ type Session struct {
 	// every session after the verifier (the verifier must observe the
 	// heap first).
 	Events *EventStats
+	// Recovery is the self-healing layer, installed last on the hook
+	// plane for KindTH sessions with an enabled policy; nil otherwise.
+	Recovery *recovery.Manager
 }
 
 // EventStats counts collector lifecycle events: the second stock hook of
@@ -225,7 +233,33 @@ func NewSession(spec Spec) *Session {
 			fi.SetFaultInjector(s.Injector)
 		}
 	}
+
+	// The recovery layer registers last, so the verifier and event counters
+	// observe a fault before any repair runs. It needs the PS collector
+	// (salvage re-materializes into H1's old generation), so only KindTH
+	// gets one.
+	if spec.Kind == KindTH {
+		pol := recovery.DefaultPolicy()
+		if spec.Recovery != nil {
+			pol = *spec.Recovery
+		}
+		if pol.Enabled {
+			jvm := s.Runtime.(*JVM)
+			s.Recovery = recovery.NewManager(pol, jvm.Collector(), s.TH, s.Injector, clock)
+			s.Recovery.Install()
+		}
+	}
 	return s
+}
+
+// RecoveryStats returns a snapshot of the recovery layer's counters, or
+// nil when the session has no recovery layer installed.
+func (s *Session) RecoveryStats() *recovery.Stats {
+	if s.Recovery == nil {
+		return nil
+	}
+	st := s.Recovery.Stats()
+	return &st
 }
 
 // g1Config resolves the G1 configuration for G1-based kinds.
@@ -243,6 +277,9 @@ func (s *Session) g1Config() g1.Config {
 func (s *Session) Fault() error {
 	if f := s.Injector.Failure(); f != nil {
 		return f
+	}
+	if rf := s.Injector.RegionFault(); rf != nil {
+		return rf
 	}
 	if fr, ok := s.Runtime.(interface{ Fault() error }); ok {
 		return fr.Fault()

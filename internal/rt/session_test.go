@@ -97,8 +97,14 @@ func TestNewSessionAllKinds(t *testing.T) {
 					if wantVerify {
 						wantHooks++
 					}
+					if kind == KindTH {
+						wantHooks++ // recovery.Manager (default policy)
+					}
 					if got := ses.Runtime.Hooks().Len(); got != wantHooks {
 						t.Errorf("hook count: got %d want %d", got, wantHooks)
+					}
+					if (ses.Recovery != nil) != (kind == KindTH) {
+						t.Errorf("recovery presence: got %v want %v", ses.Recovery != nil, kind == KindTH)
 					}
 					driveMutator(t, ses.Runtime)
 					if ses.Events.MajorGCs < 1 {

@@ -114,6 +114,19 @@ func (m *MappedFile) InvalidateWords(w, n int64) {
 // invariant checks and tests only.
 func (m *MappedFile) PeekWord(w int64) uint64 { return m.words[w] }
 
+// SumWords folds mix over the stored words [w, w+n) and returns the XOR of
+// the results, without touching the page cache or charging simulated time.
+// This is the scrubber's read path: it models the background media scan a
+// real device performs off the host's clock, so enabling scrubbing cannot
+// perturb a run's simulated results.
+func (m *MappedFile) SumWords(w, n int64, mix func(word int64, v uint64) uint64) uint64 {
+	var sum uint64
+	for i, v := range m.words[w : w+n] {
+		sum ^= mix(w+int64(i), v)
+	}
+	return sum
+}
+
 // ZeroWords clears [w, w+n) without device cost: used when whole regions
 // are reclaimed, so that stale bytes from a region's previous life are
 // never mistaken for object headers after reuse.
