@@ -6,7 +6,14 @@
 //
 // Experiments: fig6-spark, fig6-giraph, fig7, fig8, fig9a, fig9b, fig10,
 // fig11a, fig11b, fig12a, fig12b, fig12c, fig13a, fig13b, table5,
-// barrier, ablation-*, chaos, all.
+// barrier, ablation-*, workers, chaos, all.
+//
+// -gc-workers N sets the simulated GC gang size on PS-based runtimes
+// (work items dealt round-robin onto N workers, pause charged
+// max-over-workers); 1 is the legacy serial charge and the default, so
+// default output is byte-identical to before the knob existed. "workers"
+// runs the worker-scaling figure (the Figure 7 pair at gangs 1/2/4/8)
+// and is deliberately not part of "all".
 //
 // -j N sets the experiment executor's worker count (default: GOMAXPROCS).
 // Results merge in submission order, so figure output on stdout is
@@ -83,7 +90,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	compare := fs.Bool("compare", false, "with \"all\": rerun the suite at -j 1 and report the speedup")
 	verify := fs.Bool("verify", false, "run the heap invariant verifier before and after every GC")
 	faultSpec := fs.String("fault", "", "fault-injection plan, e.g. seed=1,dev-err=0.01,wb-fail=0.05")
+	gcWorkers := fs.Int("gc-workers", 1, "simulated GC gang size on PS-based runtimes (1 = serial charge)")
+	wbDepth := fs.Int("wb-depth", 0, "async writeback queue depth on the H2 device (0 = legacy flat discount)")
 	benchOut := fs.String("o", "", "with \"bench\": output path (default BENCH_<rev>.json)")
+	trajectory := fs.String("trajectory", "", "with \"bench\": trajectory directory — append this run's point and diff against the previous one")
 	benchRev := fs.String("rev", "dev", "with \"bench\": revision label recorded in the report")
 	threshold := fs.Float64("threshold", 0.25, "with \"bench diff\": regression threshold (fraction)")
 	strict := fs.Bool("strict", false, "with \"bench diff\": exit 1 on regressions instead of report-only")
@@ -92,6 +102,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *jobs < 0 {
 		fmt.Fprintf(stderr, "teraheap-bench: -j %d: worker count must be >= 0 (0 = GOMAXPROCS)\n", *jobs)
+		return 2
+	}
+	if *gcWorkers < 1 {
+		fmt.Fprintf(stderr, "teraheap-bench: -gc-workers %d: gang size must be >= 1 (1 = serial charge)\n", *gcWorkers)
+		return 2
+	}
+	if *wbDepth < 0 {
+		fmt.Fprintf(stderr, "teraheap-bench: -wb-depth %d: queue depth must be >= 0 (0 = disabled)\n", *wbDepth)
 		return 2
 	}
 	if fs.NArg() < 1 {
@@ -113,6 +131,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	defer experiments.SetVerify(prevVerify)
 	prevPlan := experiments.SetFaultPlan(plan)
 	defer experiments.SetFaultPlan(prevPlan)
+	prevGW := experiments.SetGCWorkers(*gcWorkers)
+	defer experiments.SetGCWorkers(prevGW)
+	prevWB := experiments.SetWritebackDepth(*wbDepth)
+	defer experiments.SetWritebackDepth(prevWB)
 	experiments.ResetBadRuns()
 
 	what := fs.Arg(0)
@@ -174,11 +196,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		return 0
+	case "workers":
+		// The worker-scaling figure is deliberately not part of the "all"
+		// suite: it varies GCWorkers, and "all" output stays byte-identical
+		// for every flag combination except the model knobs themselves.
+		r := experiments.WorkerScaling(nil)
+		if *csvOut {
+			fmt.Fprint(stdout, r.CSV())
+		} else {
+			fmt.Fprint(stdout, r.Format())
+		}
 	case "bench":
 		if fs.Arg(1) == "diff" {
 			return runBenchDiff(fs.Arg(2), fs.Arg(3), *threshold, *strict, stdout, stderr)
 		}
-		return runBench(*benchOut, *benchRev, stdout, stderr)
+		return runBench(*benchOut, *benchRev, *trajectory, *threshold, *strict, stdout, stderr)
 	case "all":
 		parallel := runAll(stdout, stderr)
 		if *compare {
@@ -219,7 +251,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // hot-loop microbenchmarks, and writes BENCH_<rev>.json. Unlike "all",
 // OOM-by-design runs (the paper's native-JVM OOM bars) do not affect the
 // exit code: the subcommand's contract is the JSON file.
-func runBench(outPath, rev string, stdout, stderr io.Writer) int {
+func runBench(outPath, rev, trajectory string, threshold float64, strict bool, stdout, stderr io.Writer) int {
 	report := &perf.Report{
 		Schema:    perf.Schema,
 		Rev:       rev,
@@ -256,6 +288,33 @@ func runBench(outPath, rev string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "wrote %s (total %v, %d figures, %d benchmarks)\n",
 		outPath, time.Duration(report.TotalNS).Round(time.Millisecond),
 		len(report.Figures), len(report.Benchmarks))
+
+	// With a trajectory directory, every bench run persists one per-rev
+	// point and diffs against the previous one, so the history accumulates
+	// without any separate wiring in CI.
+	if trajectory != "" {
+		prev, prevPath, err := perf.LatestReport(trajectory)
+		if err != nil {
+			fmt.Fprintf(stderr, "teraheap-bench: bench: %v\n", err)
+			return 1
+		}
+		point, err := perf.AppendToTrajectory(trajectory, report)
+		if err != nil {
+			fmt.Fprintf(stderr, "teraheap-bench: bench: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "appended %s\n", point)
+		if prev == nil {
+			fmt.Fprintf(stdout, "trajectory was empty; no previous point to diff against\n")
+			return 0
+		}
+		fmt.Fprintf(stdout, "diff vs %s (rev %s):\n", prevPath, prev.Rev)
+		regs := perf.Diff(prev, report, threshold)
+		fmt.Fprint(stdout, perf.FormatRegressions(regs, threshold))
+		if strict && len(regs) > 0 {
+			return 1
+		}
+	}
 	return 0
 }
 
@@ -311,8 +370,8 @@ func contains(xs []string, s string) bool {
 }
 
 func usage(w io.Writer) {
-	fmt.Fprintln(w, `usage: teraheap-bench [-csv] [-j N] [-compare] [-verify] [-fault PLAN] <experiment> [workload]
-       teraheap-bench bench [-o FILE] [-rev REV]
+	fmt.Fprintln(w, `usage: teraheap-bench [-csv] [-j N] [-compare] [-verify] [-fault PLAN] [-gc-workers N] [-wb-depth N] <experiment> [workload]
+       teraheap-bench bench [-o FILE] [-rev REV] [-trajectory DIR]
        teraheap-bench bench diff OLD.json NEW.json [-threshold F] [-strict]
 
 experiments:
@@ -320,7 +379,7 @@ experiments:
   fig6-giraph [PR|CDLP|WCC|BFS|SSSP]
   fig7 fig8 fig9a fig9b fig10 fig11a fig11b
   fig12a fig12b fig12c fig13a fig13b
-  table5 barrier all chaos bench
+  table5 barrier workers all chaos bench
   ablation-groups ablation-striping ablation-hugepages
   ablation-dynamic ablation-sizeseg ablation-g1th
 
@@ -339,8 +398,22 @@ flags:
              region-fail=P,corrupt=P
              (same seed => byte-identical results; empty = no faults;
              duplicate keys are a usage error)
+  -gc-workers N
+             simulated GC gang size on PS-based runtimes: work items are
+             dealt round-robin onto N workers and the pause is charged
+             max-over-workers plus a per-barrier sync cost (1 = the legacy
+             serial charge, byte-identical to before the knob; N < 1 is a
+             usage error). "workers" runs the scaling figure at 1/2/4/8.
+  -wb-depth N
+             async writeback queue depth on the H2/off-heap device: H2
+             promotion and page-cache writeback submit batches that drain
+             at safepoints (0 = legacy flat overlap discount; N < 0 is a
+             usage error)
   -o FILE    with "bench": output path (default BENCH_<rev>.json)
   -rev REV   with "bench": revision label recorded in the report
+  -trajectory DIR
+             with "bench": append this run's point to the persisted
+             trajectory in DIR and diff against the previous point
   -threshold F
              with "bench diff": wall-clock/ns regression threshold as a
              fraction (default 0.25; allocs/op regress on any increase)

@@ -73,6 +73,73 @@ func TestNegativeJobsRejected(t *testing.T) {
 	}
 }
 
+// TestNegativeGCWorkersRejected mirrors the -j validation for the gang
+// size: values below 1 are a usage error, not a silent normalization.
+func TestNegativeGCWorkersRejected(t *testing.T) {
+	for _, bad := range []string{"0", "-3"} {
+		var stdout, stderr strings.Builder
+		if code := run([]string{"-gc-workers", bad, "fig7"}, &stdout, &stderr); code != 2 {
+			t.Fatalf("-gc-workers %s: exit code = %d, want 2 (stderr:\n%s)", bad, code, stderr.String())
+		}
+		if stdout.Len() != 0 {
+			t.Errorf("-gc-workers %s ran the experiment anyway: %q", bad, stdout.String())
+		}
+		if !strings.Contains(stderr.String(), "-gc-workers "+bad) {
+			t.Errorf("stderr missing -gc-workers error:\n%s", stderr.String())
+		}
+	}
+}
+
+// TestNegativeWritebackDepthRejected pins the -wb-depth validation.
+func TestNegativeWritebackDepthRejected(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-wb-depth", "-1", "fig7"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2 (stderr:\n%s)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "-wb-depth -1") {
+		t.Errorf("stderr missing -wb-depth error:\n%s", stderr.String())
+	}
+}
+
+// TestGCWorkersOneIsDefaultOutput pins the byte-identity contract: an
+// explicit -gc-workers 1 produces exactly the default fig7 output.
+func TestGCWorkersOneIsDefaultOutput(t *testing.T) {
+	var plain, explicit strings.Builder
+	var stderr strings.Builder
+	if code := run([]string{"fig7"}, &plain, &stderr); code != 0 {
+		t.Fatalf("plain fig7 exit = %d (stderr:\n%s)", code, stderr.String())
+	}
+	if code := run([]string{"-gc-workers", "1", "fig7"}, &explicit, &stderr); code != 0 {
+		t.Fatalf("-gc-workers 1 fig7 exit = %d (stderr:\n%s)", code, stderr.String())
+	}
+	if plain.String() != explicit.String() {
+		t.Errorf("-gc-workers 1 diverged from default output")
+	}
+}
+
+// TestGCWorkersDeterministicAcrossRuns pins same-seed byte-identity at a
+// parallel gang, with the verifier on and again under fault injection.
+func TestGCWorkersDeterministicAcrossRuns(t *testing.T) {
+	cases := [][]string{
+		{"-gc-workers", "4", "-verify", "fig7"},
+		{"-gc-workers", "4", "-fault", "seed=7,dev-err=0.05,max-retries=3", "fig7"},
+	}
+	for _, args := range cases {
+		var a, b, stderr strings.Builder
+		codeA := run(args, &a, &stderr)
+		codeB := run(args, &b, &stderr)
+		if codeA != codeB {
+			t.Fatalf("%v: exit codes diverged %d vs %d", args, codeA, codeB)
+		}
+		if a.String() != b.String() {
+			t.Errorf("%v: output not deterministic across runs", args)
+		}
+		if a.Len() == 0 {
+			t.Errorf("%v: no output", args)
+		}
+	}
+}
+
 // TestSuiteCoversRegisteredExperiments pins that each suite entry is
 // reachable as a subcommand spelled exactly like its "all" entry.
 func TestSuiteNamesUnique(t *testing.T) {

@@ -336,11 +336,13 @@ func RunSpark(cfg SparkRun) RunResult {
 
 	rctx := cfg.Ctx.orDefault()
 	sspec := rt.Spec{
-		Clock:      simclock.New(),
-		DeviceKind: cfg.Device,
-		Stripes:    cfg.Stripes,
-		Verify:     rctx.Verify,
-		FaultPlan:  rctx.FaultPlan,
+		Clock:          simclock.New(),
+		DeviceKind:     cfg.Device,
+		Stripes:        cfg.Stripes,
+		Verify:         rctx.Verify,
+		FaultPlan:      rctx.FaultPlan,
+		GCWorkers:      rctx.GCWorkers,
+		WritebackDepth: rctx.WritebackDepth,
 	}
 	mode := spark.ModeSD
 	name := ""
@@ -406,6 +408,9 @@ func RunSpark(cfg SparkRun) RunResult {
 	})
 
 	checksum, err := spec.run(ctx, datasetBytes)
+	// Settle the writeback queue before snapshotting: residual service
+	// time belongs to the run that submitted it (no-op when disabled).
+	dev.DrainWriteback()
 	res := RunResult{Name: name, Checksum: checksum}
 	res.B = clock.Breakdown()
 	res.GCStats = *runtime.GCStats()

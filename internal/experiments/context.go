@@ -26,6 +26,12 @@ type RunContext struct {
 	// operation stream — worker interleaving across parallel runs cannot
 	// perturb them.
 	FaultPlan *fault.Plan
+	// GCWorkers sets the simulated GC gang size on PS-based runtimes
+	// (rt.Spec.GCWorkers); 0 or 1 is the legacy serial charge.
+	GCWorkers int
+	// WritebackDepth enables the device's asynchronous writeback queue
+	// (rt.Spec.WritebackDepth); 0 is the legacy flat discount.
+	WritebackDepth int
 }
 
 // defaultCtx holds the process-default RunContext. It is the one
@@ -84,3 +90,50 @@ func SetFaultPlan(p *fault.Plan) *fault.Plan {
 
 // FaultPlan returns the process-default fault plan, or nil.
 func FaultPlan() *fault.Plan { return DefaultContext().FaultPlan }
+
+// SetGCWorkers sets the simulated GC gang size in the process-default
+// context (values below 1 normalize to 1) and returns the previous
+// setting. It is a shim for the -gc-workers flag.
+func SetGCWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	for {
+		old := defaultCtx.Load()
+		if old.GCWorkers == n {
+			return old.GCWorkers
+		}
+		next := *old
+		next.GCWorkers = n
+		if defaultCtx.CompareAndSwap(old, &next) {
+			return old.GCWorkers
+		}
+	}
+}
+
+// GCWorkers returns the process-default GC gang size (0 and 1 both mean
+// the legacy serial charge).
+func GCWorkers() int { return DefaultContext().GCWorkers }
+
+// SetWritebackDepth sets the device writeback queue depth in the
+// process-default context (values below 0 normalize to 0 = disabled) and
+// returns the previous setting. It is a shim for the -wb-depth flag.
+func SetWritebackDepth(n int) int {
+	if n < 0 {
+		n = 0
+	}
+	for {
+		old := defaultCtx.Load()
+		if old.WritebackDepth == n {
+			return old.WritebackDepth
+		}
+		next := *old
+		next.WritebackDepth = n
+		if defaultCtx.CompareAndSwap(old, &next) {
+			return old.WritebackDepth
+		}
+	}
+}
+
+// WritebackDepth returns the process-default writeback queue depth.
+func WritebackDepth() int { return DefaultContext().WritebackDepth }

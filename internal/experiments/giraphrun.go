@@ -87,9 +87,11 @@ func RunGiraph(cfg GiraphRun) RunResult {
 
 	rctx := cfg.Ctx.orDefault()
 	sspec := rt.Spec{
-		Clock:     simclock.New(),
-		Verify:    rctx.Verify,
-		FaultPlan: rctx.FaultPlan,
+		Clock:          simclock.New(),
+		Verify:         rctx.Verify,
+		FaultPlan:      rctx.FaultPlan,
+		GCWorkers:      rctx.GCWorkers,
+		WritebackDepth: rctx.WritebackDepth,
 	}
 	var name string
 	switch cfg.Mode {
@@ -116,6 +118,9 @@ func RunGiraph(cfg GiraphRun) RunResult {
 
 	res := RunResult{Name: name}
 	finish := func(err error) RunResult {
+		// Settle the writeback queue before snapshotting (no-op when
+		// disabled).
+		dev.DrainWriteback()
 		res.B = clock.Breakdown()
 		res.GCStats = *jvm.GCStats()
 		res.DevStats = dev.Stats()

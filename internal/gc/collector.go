@@ -31,6 +31,19 @@ type CostParams struct {
 	PausePerGC     time.Duration // fixed safepoint/start/stop overhead
 	MinorGCThreads int           // parallel scavenge threads (paper: 16)
 	MajorGCThreads int           // old generation threads (paper: 1)
+
+	// Workers is the simulated GC gang size. At 0 or 1 (the default) each
+	// pause charges the serial sum of its CPU work divided by the phase's
+	// thread count — the legacy aggregate model, byte-identical to before
+	// the gang existed. At N > 1 the work items of each phase are
+	// partitioned round-robin into N per-worker shards and the pause
+	// charges max-over-workers of the shard spans (still divided by the
+	// phase thread count), plus StealSyncCost per barrier.
+	Workers int
+	// StealSyncCost models the work-stealing and termination-barrier
+	// overhead of one gang synchronization point; charged once per barrier
+	// (minor GC: 1; major GC: one per phase) only when Workers > 1.
+	StealSyncCost time.Duration
 }
 
 // DefaultCostParams returns the calibrated defaults.
@@ -45,6 +58,8 @@ func DefaultCostParams() CostParams {
 		PausePerGC:     200 * time.Microsecond,
 		MinorGCThreads: 16,
 		MajorGCThreads: 1,
+		Workers:        1,
+		StealSyncCost:  time.Microsecond,
 	}
 }
 
@@ -151,6 +166,13 @@ type Collector struct {
 	oldDst     []vm.Addr
 	fwState    forwarding
 
+	// gng points at gangScratch while a gang-charged phase is in flight
+	// (Costs.Workers > 1), routing per-work-item costs onto per-worker
+	// spans; nil otherwise, making the attribution hooks no-ops on the
+	// legacy path.
+	gng         *gang
+	gangScratch gang
+
 	// verifier holds the invariant verifier's reusable scratch (maps,
 	// queues, parsed-object arrays) so TH_VERIFY=1 runs do not rebuild
 	// them around every GC.
@@ -197,6 +219,7 @@ func NewWithHeap(h1 *heap.H1, costs CostParams, as *vm.AddressSpace, classes *vm
 	}
 	c.scav.c = c
 	c.scavBackVisit = func(_ uint64, t vm.Addr) vm.Addr {
+		c.gangBegin() // each backward reference is one scavenge work item
 		if c.H1.InYoung(t) {
 			return c.scav.copyYoung(t)
 		}

@@ -1,0 +1,54 @@
+package gc
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSweepUniformMatchesPerItemDealing pins the bulk-deal fast path to
+// the per-item semantics it replaces: for every (workers, offset, n)
+// combination, sweepUniform must leave the same per-worker charges and
+// the same cursor state as dealing each item individually.
+func TestSweepUniformMatchesPerItemDealing(t *testing.T) {
+	const per = 3 * time.Microsecond
+	for _, workers := range []int{1, 2, 3, 4, 7, 8} {
+		for offset := 0; offset < workers; offset++ {
+			for _, n := range []int{0, 1, 2, workers - 1, workers, workers + 1, 3*workers + 2, 1000} {
+				if n < 0 {
+					continue
+				}
+				var bulk, serial gang
+				bulk.reset(workers)
+				serial.reset(workers)
+				// Advance both cursors to the same mid-phase offset.
+				for j := 0; j < offset; j++ {
+					bulk.beginItem()
+					serial.beginItem()
+				}
+
+				bulk.sweepUniform(n, per)
+				for j := 0; j < n; j++ {
+					serial.beginItem()
+					serial.charge(per)
+				}
+
+				for w := 0; w < workers; w++ {
+					if got, want := bulk.spans.Get(w), serial.spans.Get(w); got != want {
+						t.Fatalf("workers=%d offset=%d n=%d: worker %d charged %v, per-item dealing charges %v",
+							workers, offset, n, w, got, want)
+					}
+				}
+				if n > 0 {
+					if bulk.cur != serial.cur {
+						t.Fatalf("workers=%d offset=%d n=%d: cur=%d, per-item dealing leaves %d",
+							workers, offset, n, bulk.cur, serial.cur)
+					}
+				}
+				if bulk.next != serial.next {
+					t.Fatalf("workers=%d offset=%d n=%d: next=%d, per-item dealing leaves %d",
+						workers, offset, n, bulk.next, serial.next)
+				}
+			}
+		}
+	}
+}

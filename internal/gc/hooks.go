@@ -9,11 +9,15 @@ package gc
 // Hooks observe; they must not mutate the heap, allocate in it, or charge
 // simulated time, so a run's results are byte-identical with any set of
 // hooks registered. (The verifier hook enforces its findings by panicking
-// with a structured report, which is an abort, not a mutation.) The one
-// sanctioned exception is the recovery layer (internal/recovery): its
-// OnFault fires only at collector safepoints and only after a fault has
-// already perturbed the run, so the byte-identity contract — which is
-// quantified over fault-free runs — is preserved.
+// with a structured report, which is an abort, not a mutation.) Two
+// sanctioned exceptions exist. The recovery layer (internal/recovery):
+// its OnFault fires only at collector safepoints and only after a fault
+// has already perturbed the run, so the byte-identity contract — which is
+// quantified over fault-free runs — is preserved. And the writeback drain
+// hook (internal/rt): its BeforeGC charges the device writeback queue's
+// residual service time as mutator wait, which is exactly the queue's
+// purpose; the hook only exists on sessions that opted into the queue, so
+// default-configuration runs stay byte-identical.
 
 // Phase identifies the collection type a lifecycle event belongs to.
 type Phase int

@@ -26,28 +26,52 @@ func (c *Collector) MajorGC() error {
 	var cy Cycle
 	cy.Kind = Major
 
+	// Each of the four phases is one gang barrier: with Workers > 1 its
+	// work items are dealt round-robin onto per-worker spans and the phase
+	// charges max-over-workers plus one steal/sync overhead; otherwise the
+	// legacy serial aggregate is charged, byte-identical to before.
 	phaseStart := c.Clock.Breakdown()
+	gangOn := c.beginGangPhase()
 	mk := c.majorMark(&cy)
-	c.chargeGC(simclock.MajorGC, mk.cpu(c.Costs), c.Costs.MajorGCThreads)
+	if gangOn {
+		c.endGangPhase(simclock.MajorGC, c.Costs.MajorGCThreads)
+	} else {
+		c.chargeGC(simclock.MajorGC, mk.cpu(c.Costs), c.Costs.MajorGCThreads)
+	}
 	cy.Phases[PhaseMark] = c.Clock.Breakdown().Sub(phaseStart).Get(simclock.MajorGC)
 
 	phaseStart = c.Clock.Breakdown()
+	gangOn = c.beginGangPhase()
 	fw, err := c.majorPrecompact(mk, &cy)
 	if err != nil {
+		c.gng = nil // the aborted phase never reaches endGangPhase
 		return err
 	}
-	c.chargeGC(simclock.MajorGC,
-		time.Duration(len(fw.src))*c.Costs.PerCardObject, c.Costs.MajorGCThreads)
+	if gangOn {
+		c.endGangPhase(simclock.MajorGC, c.Costs.MajorGCThreads)
+	} else {
+		c.chargeGC(simclock.MajorGC,
+			time.Duration(len(fw.src))*c.Costs.PerCardObject, c.Costs.MajorGCThreads)
+	}
 	cy.Phases[PhasePrecompact] = c.Clock.Breakdown().Sub(phaseStart).Get(simclock.MajorGC)
 
 	phaseStart = c.Clock.Breakdown()
+	gangOn = c.beginGangPhase()
 	adjRefs := c.majorAdjust(fw)
-	c.chargeGC(simclock.MajorGC,
-		time.Duration(adjRefs)*c.Costs.ScanPerRef, c.Costs.MajorGCThreads)
+	if gangOn {
+		c.endGangPhase(simclock.MajorGC, c.Costs.MajorGCThreads)
+	} else {
+		c.chargeGC(simclock.MajorGC,
+			time.Duration(adjRefs)*c.Costs.ScanPerRef, c.Costs.MajorGCThreads)
+	}
 	cy.Phases[PhaseAdjust] = c.Clock.Breakdown().Sub(phaseStart).Get(simclock.MajorGC)
 
 	phaseStart = c.Clock.Breakdown()
+	gangOn = c.beginGangPhase()
 	c.majorCompact(fw, &cy)
+	if gangOn {
+		c.endGangPhase(simclock.MajorGC, c.Costs.MajorGCThreads)
+	}
 	cy.Phases[PhaseCompact] = c.Clock.Breakdown().Sub(phaseStart).Get(simclock.MajorGC)
 
 	c.Clock.Charge(simclock.MajorGC, c.Costs.PausePerGC)
@@ -120,6 +144,7 @@ func (c *Collector) majorMark(cy *Cycle) *markState {
 		for len(closureStack) > 0 {
 			o := closureStack[len(closureStack)-1]
 			closureStack = closureStack[:len(closureStack)-1]
+			c.gangBegin()
 			if o.IsNull() || c.TH.Contains(o) || m.InClosure(o) {
 				continue
 			}
@@ -130,11 +155,13 @@ func (c *Collector) majorMark(cy *Cycle) *markState {
 			m.SetLabel(o, label)
 			st.closureWords += int64(m.SizeWords(o))
 			st.objectsMarked++
+			c.gangCharge(c.Costs.MarkPerObject)
 			n := m.NumRefs(o)
 			for i := 0; i < n; i++ {
 				if t := m.RefAt(o, i); !t.IsNull() && c.H1.Contains(t) {
 					closureStack = append(closureStack, t)
 					st.refsTraversed++
+					c.gangCharge(c.Costs.ScanPerRef)
 				}
 			}
 		}
@@ -195,6 +222,7 @@ func (c *Collector) majorMark(cy *Cycle) *markState {
 	for len(stack) > 0 {
 		o := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
+		c.gangBegin()
 		if c.TH.Contains(o) {
 			// Fence: record the forward reference, never scan H2.
 			cy.ForwardRefs++
@@ -209,11 +237,13 @@ func (c *Collector) majorMark(cy *Cycle) *markState {
 		}
 		m.SetMarked(o, true)
 		st.objectsMarked++
+		c.gangCharge(c.Costs.MarkPerObject)
 		st.liveBytes += int64(m.SizeWords(o)) * vm.WordSize
 		n := m.NumRefs(o)
 		for i := 0; i < n; i++ {
 			if t := m.RefAt(o, i); !t.IsNull() {
 				st.refsTraversed++
+				c.gangCharge(c.Costs.ScanPerRef)
 				stack = append(stack, t)
 			}
 		}
@@ -315,9 +345,12 @@ func (c *Collector) majorPrecompact(mk *markState, cy *Cycle) (*forwarding, erro
 		return dst, nil
 	}
 
-	// Old first (dst <= src within the old space), then young.
+	// Old first (dst <= src within the old space), then young. Each live
+	// object is one precompaction work item.
 	oldDst := growAddrs(c.oldDst, len(oldLive))
 	for i, a := range oldLive {
+		c.gangBegin()
+		c.gangCharge(c.Costs.PerCardObject)
 		d, err := assign(a)
 		if err != nil {
 			return nil, err
@@ -326,6 +359,8 @@ func (c *Collector) majorPrecompact(mk *markState, cy *Cycle) (*forwarding, erro
 	}
 	youngDst := growAddrs(c.youngDst, len(youngLive))
 	for i, a := range youngLive {
+		c.gangBegin()
+		c.gangCharge(c.Costs.PerCardObject)
 		d, err := assign(a)
 		if err != nil {
 			return nil, err
@@ -367,15 +402,18 @@ func (c *Collector) majorAdjust(fw *forwarding) int64 {
 	// loop would be clobbered if the scan ran afterwards, leaving their
 	// backward references invisible to the next major GC.
 	c.TH.ScanBackwardRefs(true, func(_ uint64, t vm.Addr) vm.Addr {
+		c.gangBegin() // each backward reference is one adjust work item
 		nt, ok := adjustRef(fw.src, fw.dst, t)
 		if !ok {
 			panic(fmt.Sprintf("gc: H2 backward reference to unmarked %v", t))
 		}
 		refs++
+		c.gangCharge(c.Costs.ScanPerRef)
 		return nt
 	}, func(vm.Addr) bool { return false })
 
 	for i, a := range fw.src {
+		c.gangBegin() // each live object is one adjust work item
 		n := m.NumRefs(a)
 		toH2 := fw.inH2(i)
 		for f := 0; f < n; f++ {
@@ -384,6 +422,7 @@ func (c *Collector) majorAdjust(fw *forwarding) int64 {
 				continue
 			}
 			refs++
+			c.gangCharge(c.Costs.ScanPerRef)
 			if c.TH.Contains(t) {
 				if toH2 {
 					c.TH.NoteCrossRegionRef(fw.dst[i], t)
@@ -433,6 +472,7 @@ func (c *Collector) majorCompact(fw *forwarding, cy *Cycle) {
 	m := c.Mem
 
 	moveOne := func(i int) {
+		c.gangBegin() // each live object is one compaction work item
 		src, dst := fw.src[i], fw.dst[i]
 		size := m.SizeWords(src)
 		if fw.inH2(i) {
@@ -458,6 +498,7 @@ func (c *Collector) majorCompact(fw *forwarding, cy *Cycle) {
 		st := m.Status(dst)
 		m.SetStatus(dst, st&^uint64(vm.FlagMark|vm.FlagClosure))
 		cy.BytesCopied += int64(size) * vm.WordSize
+		c.gangCharge(time.Duration(int64(size)*vm.WordSize) * c.Costs.CopyPerByte)
 	}
 
 	for i := fw.oldStartIdx; i < len(fw.src); i++ {
@@ -466,8 +507,10 @@ func (c *Collector) majorCompact(fw *forwarding, cy *Cycle) {
 	for i := 0; i < fw.oldStartIdx; i++ {
 		moveOne(i)
 	}
-	c.chargeGC(simclock.MajorGC,
-		time.Duration(cy.BytesCopied)*c.Costs.CopyPerByte, c.Costs.MajorGCThreads)
+	if !c.gangActive() {
+		c.chargeGC(simclock.MajorGC,
+			time.Duration(cy.BytesCopied)*c.Costs.CopyPerByte, c.Costs.MajorGCThreads)
+	}
 
 	// Reset spaces: everything live is now in the old generation or H2.
 	c.H1.Old.Top = fw.oldTop

@@ -71,6 +71,7 @@ func (c *Collector) MinorGC() (err error) {
 			if !ok {
 				panic(r)
 			}
+			c.gng = nil // the aborted phase never reaches endGangPhase
 			err = c.latchOOM(sa.err)
 		}
 	}()
@@ -78,6 +79,7 @@ func (c *Collector) MinorGC() (err error) {
 
 	s := &c.scav
 	s.begin(c.H1.Old.Top)
+	gangOn := c.beginGangPhase()
 
 	// Roots 1: handles. Iterated directly (nil slots are released handles)
 	// rather than through ForEach, which would allocate a closure per cycle.
@@ -85,6 +87,7 @@ func (c *Collector) MinorGC() (err error) {
 		if h == nil {
 			continue
 		}
+		c.gangBegin()
 		a := h.Addr()
 		if !a.IsNull() && c.H1.InYoung(a) {
 			h.Set(s.copyYoung(a))
@@ -107,12 +110,18 @@ func (c *Collector) MinorGC() (err error) {
 	c.H1.SwapSurvivors()
 	c.TH.FlushBuffers()
 
-	// Bill CPU work.
-	cpu := time.Duration(s.bytesCopied+s.bytesPromoted)*c.Costs.CopyPerByte +
-		time.Duration(s.refsScanned)*c.Costs.ScanPerRef +
-		time.Duration(s.cardsScanned)*c.Costs.PerCard +
-		time.Duration(s.cardObjects)*c.Costs.PerCardObject
-	c.chargeGC(simclock.MinorGC, cpu, c.Costs.MinorGCThreads)
+	// Bill CPU work. The scavenge is one barrier: a single gang phase from
+	// roots through drain, charged max-over-workers when the gang is on,
+	// or the legacy serial aggregate otherwise.
+	if gangOn {
+		c.endGangPhase(simclock.MinorGC, c.Costs.MinorGCThreads)
+	} else {
+		cpu := time.Duration(s.bytesCopied+s.bytesPromoted)*c.Costs.CopyPerByte +
+			time.Duration(s.refsScanned)*c.Costs.ScanPerRef +
+			time.Duration(s.cardsScanned)*c.Costs.PerCard +
+			time.Duration(s.cardObjects)*c.Costs.PerCardObject
+		c.chargeGC(simclock.MinorGC, cpu, c.Costs.MinorGCThreads)
+	}
 	c.Clock.Charge(simclock.MinorGC, c.Costs.PausePerGC)
 
 	delta := c.Clock.Breakdown().Sub(before)
@@ -200,6 +209,7 @@ func (s *scavenger) copyYoung(a vm.Addr) vm.Addr {
 	} else {
 		s.bytesCopied += int64(size) * vm.WordSize
 	}
+	c.gangCharge(time.Duration(int64(size)*vm.WordSize) * c.Costs.CopyPerByte)
 	s.worklist = append(s.worklist, dst)
 	return dst
 }
@@ -211,6 +221,7 @@ func (s *scavenger) drain() {
 		for len(s.worklist) > 0 {
 			dst := s.worklist[len(s.worklist)-1]
 			s.worklist = s.worklist[:len(s.worklist)-1]
+			s.c.gangBegin()
 			s.scanCopied(dst)
 		}
 		for s.h2head < len(s.h2moves) {
@@ -218,6 +229,7 @@ func (s *scavenger) drain() {
 			// ascending address order.
 			mv := s.h2moves[s.h2head]
 			s.h2head++
+			s.c.gangBegin()
 			s.commitH2Move(mv)
 		}
 	}
@@ -233,6 +245,7 @@ func (s *scavenger) scanCopied(dst vm.Addr) {
 	for i := 0; i < n; i++ {
 		t := m.RefAt(dst, i)
 		s.refsScanned++
+		c.gangCharge(c.Costs.ScanPerRef)
 		if t.IsNull() || c.TH.Contains(t) {
 			continue // fence: never cross into H2
 		}
@@ -277,6 +290,7 @@ func (s *scavenger) commitH2Move(mv pendingH2Move) {
 	for i := 0; i < numRefs; i++ {
 		t := vm.Addr(m.AS.Load(mv.src + vm.Addr((vm.HeaderWords+i)*vm.WordSize)))
 		s.refsScanned++
+		c.gangCharge(c.Costs.ScanPerRef)
 		switch {
 		case t.IsNull():
 		case c.TH.Contains(t):
@@ -314,39 +328,72 @@ func (s *scavenger) commitH2Move(mv pendingH2Move) {
 // their young targets and re-dirtying cards that still reference survivors.
 func (s *scavenger) scanDirtyCards() {
 	c := s.c
-	m := c.Mem
 	cards := c.H1.Cards
 	n := cards.NumCards()
+	// The sweep examines every card, almost all clean: dealing each as an
+	// individual work item would put two gang calls on the hottest loop in
+	// the collector. Instead the whole sweep is dealt in one bulk step —
+	// charge-equivalent to per-card dealing — and only dirty cards (the
+	// expensive path) touch the gang, rebinding the cursor to the worker
+	// the bulk deal assigned their index.
+	if gng := c.gng; gng != nil {
+		sweepStart := gng.next
+		gng.sweepUniform(n, c.Costs.PerCard)
+		for i := 0; i < n; i++ {
+			s.cardsScanned++
+			if cards.Get(i) != heap.CardDirty {
+				continue
+			}
+			gng.cur = (sweepStart + i) % gng.spans.Workers()
+			s.scanCard(i)
+		}
+		return
+	}
+	// Serial sweep: a separate loop keeps register pressure off the
+	// clean-card fast path (the gang cursor state would otherwise spill
+	// the receiver to the stack on every iteration).
 	for i := 0; i < n; i++ {
 		s.cardsScanned++
 		if cards.Get(i) != heap.CardDirty {
 			continue
 		}
-		cards.Set(i, heap.CardClean)
-		_, hi := cards.CardBounds(i)
-		obj := c.startArray[i]
-		anyYoung := false
-		for !obj.IsNull() && obj < hi && obj < s.oldTop {
-			s.cardObjects++
-			nrefs := m.NumRefs(obj)
-			for f := 0; f < nrefs; f++ {
-				t := m.RefAt(obj, f)
-				s.refsScanned++
-				if t.IsNull() || c.TH.Contains(t) {
-					continue
-				}
-				if c.H1.InYoung(t) {
-					nt := s.copyYoung(t)
-					m.SetRefAt(obj, f, nt)
-					if c.H1.InYoung(nt) {
-						anyYoung = true
-					}
+		s.scanCard(i)
+	}
+}
+
+// scanCard walks the old-generation objects spanning one dirty card,
+// evacuating their young targets and re-dirtying the card if it still
+// references survivors.
+func (s *scavenger) scanCard(i int) {
+	c := s.c
+	m := c.Mem
+	cards := c.H1.Cards
+	cards.Set(i, heap.CardClean)
+	_, hi := cards.CardBounds(i)
+	obj := c.startArray[i]
+	anyYoung := false
+	for !obj.IsNull() && obj < hi && obj < s.oldTop {
+		s.cardObjects++
+		c.gangCharge(c.Costs.PerCardObject)
+		nrefs := m.NumRefs(obj)
+		for f := 0; f < nrefs; f++ {
+			t := m.RefAt(obj, f)
+			s.refsScanned++
+			c.gangCharge(c.Costs.ScanPerRef)
+			if t.IsNull() || c.TH.Contains(t) {
+				continue
+			}
+			if c.H1.InYoung(t) {
+				nt := s.copyYoung(t)
+				m.SetRefAt(obj, f, nt)
+				if c.H1.InYoung(nt) {
+					anyYoung = true
 				}
 			}
-			obj += vm.Addr(m.SizeWords(obj) * vm.WordSize)
 		}
-		if anyYoung {
-			cards.Set(i, heap.CardDirty)
-		}
+		obj += vm.Addr(m.SizeWords(obj) * vm.WordSize)
+	}
+	if anyYoung {
+		cards.Set(i, heap.CardDirty)
 	}
 }

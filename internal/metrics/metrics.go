@@ -106,6 +106,53 @@ func fmtDur(d time.Duration) string {
 	return d.String()
 }
 
+// PauseRow is one point of a GC worker-scaling table: one configuration
+// run at one simulated gang size.
+type PauseRow struct {
+	Name    string
+	Workers int
+	MinorGC time.Duration // total minor-GC pause time
+	MajorGC time.Duration // total major-GC pause time
+	Total   time.Duration // run total (all categories)
+}
+
+// FormatPauseScaling renders worker-scaling rows as an aligned table with
+// per-row speedup of total GC time relative to the same configuration at
+// the smallest gang size.
+func FormatPauseScaling(title string, rows []PauseRow) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s ==\n", title)
+	fmt.Fprintf(&sb, "%-28s %8s %12s %12s %12s %8s\n",
+		"config", "workers", "minorGC", "majorGC", "total", "gcNorm")
+	base := map[string]time.Duration{}
+	for _, r := range rows {
+		gcTotal := r.MinorGC + r.MajorGC
+		if _, ok := base[r.Name]; !ok {
+			base[r.Name] = gcTotal
+		}
+		norm := "-"
+		if b := base[r.Name]; b > 0 {
+			norm = fmt.Sprintf("%.3f", float64(gcTotal)/float64(b))
+		}
+		fmt.Fprintf(&sb, "%-28s %8d %12s %12s %12s %8s\n",
+			r.Name, r.Workers, fmtDur(r.MinorGC), fmtDur(r.MajorGC),
+			fmtDur(r.Total), norm)
+	}
+	return sb.String()
+}
+
+// CSVPauseScaling renders worker-scaling rows as CSV with columns
+// name,workers,minor_ns,major_ns,total_ns.
+func CSVPauseScaling(rows []PauseRow) string {
+	var sb strings.Builder
+	sb.WriteString("name,workers,minor_ns,major_ns,total_ns\n")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%s,%d,%d,%d,%d\n",
+			r.Name, r.Workers, int64(r.MinorGC), int64(r.MajorGC), int64(r.Total))
+	}
+	return sb.String()
+}
+
 // CDFPoint is one point of an empirical CDF.
 type CDFPoint struct {
 	Value float64 // x

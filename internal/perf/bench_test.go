@@ -31,7 +31,9 @@ func TestMicroAllocPins(t *testing.T) {
 		"pagecache_invalidate":       0,
 		"rootset_create_release":     1, // the Handle object itself
 		"minor_gc_scavenge":          0,
+		"minor_gc_scavenge_gang4":    0,
 		"card_table_scan":            0,
+		"writeback_submit_drain":     0,
 	}
 	for _, m := range Micros() {
 		m := m
@@ -57,7 +59,7 @@ func TestMicrosHaveUniqueStableNames(t *testing.T) {
 		}
 		seen[m.Name] = true
 	}
-	if want := 6; len(seen) != want {
+	if want := 8; len(seen) != want {
 		t.Fatalf("expected %d micros, got %d", want, len(seen))
 	}
 }

@@ -29,7 +29,9 @@ func Micros() []Micro {
 		{Name: "pagecache_invalidate", Setup: setupPageCacheInvalidate},
 		{Name: "rootset_create_release", Setup: setupRootSet},
 		{Name: "minor_gc_scavenge", Setup: setupScavenge},
+		{Name: "minor_gc_scavenge_gang4", Setup: setupScavengeGang4},
 		{Name: "card_table_scan", Setup: setupCardScan},
+		{Name: "writeback_submit_drain", Setup: setupWriteback},
 	}
 }
 
@@ -148,6 +150,60 @@ func setupScavenge() func() {
 	for i := 0; i < 32; i++ {
 		op()
 	}
+	return op
+}
+
+// setupScavengeGang4: the scavenge scenario with a 4-worker gang, so the
+// per-item dealing and span bookkeeping on the minor-GC hot path is
+// measured against the serial baseline. Steady state must stay 0
+// allocs/op: the gang reuses its span backing across phases.
+func setupScavengeGang4() func() {
+	clock := simclock.New()
+	j := rt.NewJVM(rt.Options{H1Size: 8 * storage.MB}, nil, clock)
+	node := j.Classes().MustFixed("Node", 1, 1)
+	h := j.NewHandle(vm.NullAddr)
+	for i := 0; i < 64; i++ {
+		a, err := j.Alloc(node)
+		if err != nil {
+			panic(err)
+		}
+		j.WriteRef(a, 0, h.Addr())
+		h.Set(a)
+	}
+	col := j.Collector()
+	col.SetVerify(false)
+	col.Costs.Workers = 4
+	op := func() {
+		for i := 0; i < 32; i++ {
+			if _, err := j.Alloc(node); err != nil {
+				panic(err)
+			}
+		}
+		if err := col.MinorGC(); err != nil {
+			panic(err)
+		}
+		col.Stats().ResetCycles()
+	}
+	for i := 0; i < 32; i++ {
+		op()
+	}
+	return op
+}
+
+// setupWriteback: one op submits a burst of async batches against a
+// depth-capped queue and drains it at a simulated safepoint. Steady state
+// must be 0 allocs/op: the queue recycles its completion ring.
+func setupWriteback() func() {
+	clock := simclock.New()
+	dev := storage.NewDevice(storage.NVMeSSD, clock)
+	dev.SetWritebackDepth(4)
+	op := func() {
+		for i := 0; i < 8; i++ {
+			dev.WriteAsync(64*storage.KB, storage.DefaultPageSize)
+		}
+		dev.DrainWriteback()
+	}
+	op() // warm: grow the completion ring once
 	return op
 }
 

@@ -1,0 +1,106 @@
+package perf
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A trajectory directory is the persisted per-SHA performance history:
+// one BENCH report per append, named NNNN_<rev>.json with a zero-padded
+// monotone sequence number, so lexicographic filename order is append
+// order and the latest point is always discoverable without an index
+// file. CI restores the directory from a cache keyed by commit, appends
+// the current run's point, and diffs it against the previous one.
+
+// trajectoryEntries returns the trajectory files in append order.
+func trajectoryEntries(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		// Only sequence-numbered points participate; stray files (README,
+		// hand-copied baselines) are ignored.
+		if len(e.Name()) < 6 || e.Name()[4] != '_' {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// sanitizeRev keeps revision labels filename-safe.
+func sanitizeRev(rev string) string {
+	var sb strings.Builder
+	for _, r := range rev {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '.':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	if sb.Len() == 0 {
+		return "unknown"
+	}
+	return sb.String()
+}
+
+// AppendToTrajectory persists r as the next point of the trajectory in
+// dir (created if missing) and returns the written path.
+func AppendToTrajectory(dir string, r *Report) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("perf: trajectory: %w", err)
+	}
+	names, err := trajectoryEntries(dir)
+	if err != nil {
+		return "", fmt.Errorf("perf: trajectory: %w", err)
+	}
+	seq := 1
+	if len(names) > 0 {
+		last := names[len(names)-1]
+		if _, err := fmt.Sscanf(last[:4], "%d", &seq); err == nil {
+			seq++
+		} else {
+			seq = len(names) + 1
+		}
+	}
+	if seq > 9999 {
+		return "", fmt.Errorf("perf: trajectory: sequence space exhausted (%d points)", len(names))
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%04d_%s.json", seq, sanitizeRev(r.Rev)))
+	if err := r.WriteFile(path); err != nil {
+		return "", fmt.Errorf("perf: trajectory: %w", err)
+	}
+	return path, nil
+}
+
+// LatestReport loads the most recent trajectory point in dir, returning
+// (nil, "", nil) for an empty or missing trajectory.
+func LatestReport(dir string) (*Report, string, error) {
+	names, err := trajectoryEntries(dir)
+	if err != nil {
+		return nil, "", fmt.Errorf("perf: trajectory: %w", err)
+	}
+	if len(names) == 0 {
+		return nil, "", nil
+	}
+	path := filepath.Join(dir, names[len(names)-1])
+	r, err := ReadFile(path)
+	if err != nil {
+		return nil, "", fmt.Errorf("perf: trajectory: %w", err)
+	}
+	return r, path, nil
+}

@@ -1,0 +1,83 @@
+package perf
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func trajReport(rev string, total int64) *Report {
+	return &Report{Schema: Schema, Rev: rev, TotalNS: total,
+		Figures: []Figure{{Name: "fig7", WallNS: total / 2}}}
+}
+
+func TestTrajectoryAppendAndLatest(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "trajectory")
+
+	// Empty (and missing) trajectory: no latest point, no error.
+	if r, _, err := LatestReport(dir); err != nil || r != nil {
+		t.Fatalf("empty trajectory: report=%v err=%v", r, err)
+	}
+
+	for i, rev := range []string{"aaa111", "bbb222", "ccc333"} {
+		p, err := AppendToTrajectory(dir, trajReport(rev, int64(i+1)*1000))
+		if err != nil {
+			t.Fatalf("append %s: %v", rev, err)
+		}
+		if filepath.Dir(p) != dir {
+			t.Fatalf("point written outside trajectory: %s", p)
+		}
+	}
+
+	r, path, err := LatestReport(dir)
+	if err != nil {
+		t.Fatalf("latest: %v", err)
+	}
+	if r.Rev != "ccc333" || r.TotalNS != 3000 {
+		t.Fatalf("latest = %s/%d, want ccc333/3000", r.Rev, r.TotalNS)
+	}
+	if filepath.Base(path) != "0003_ccc333.json" {
+		t.Fatalf("latest path = %s, want 0003_ccc333.json", filepath.Base(path))
+	}
+
+	// Every run appends exactly one point per invocation.
+	names, err := trajectoryEntries(dir)
+	if err != nil || len(names) != 3 {
+		t.Fatalf("entries = %v (err=%v), want 3", names, err)
+	}
+}
+
+// Stray files in the directory (a README, a hand-copied baseline) never
+// corrupt the sequence.
+func TestTrajectoryIgnoresStrayFiles(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := AppendToTrajectory(dir, trajReport("first", 1)); err != nil {
+		t.Fatal(err)
+	}
+	os.WriteFile(filepath.Join(dir, "README.md"), []byte("notes"), 0o644)
+	os.WriteFile(filepath.Join(dir, "zzz-baseline.json"), []byte("{}"), 0o644)
+	if _, err := AppendToTrajectory(dir, trajReport("second", 2)); err != nil {
+		t.Fatal(err)
+	}
+	r, _, err := LatestReport(dir)
+	if err != nil || r.Rev != "second" {
+		t.Fatalf("latest = %v (err=%v), want second", r, err)
+	}
+}
+
+// Revision labels with path-hostile characters are sanitized into the
+// filename but preserved in the report.
+func TestTrajectorySanitizesRev(t *testing.T) {
+	dir := t.TempDir()
+	p, err := AppendToTrajectory(dir, trajReport("feat/x y", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base := filepath.Base(p); base != "0001_feat_x_y.json" {
+		t.Fatalf("path = %s", base)
+	}
+	r, _, err := LatestReport(dir)
+	if err != nil || r.Rev != "feat/x y" {
+		t.Fatalf("latest rev = %v (err=%v)", r, err)
+	}
+}

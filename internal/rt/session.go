@@ -93,6 +93,20 @@ type Spec struct {
 	Classes *vm.ClassTable
 	Clock   *simclock.Clock
 
+	// GCWorkers sets the simulated GC gang size on PS-based kinds (PS, TH,
+	// MO, Panthera): N > 1 deals each pause's work items round-robin onto N
+	// per-worker spans and charges max-over-workers plus a per-barrier
+	// steal/sync overhead. 0 or 1 keeps the legacy serial aggregate,
+	// byte-identical to before the knob existed. G1-based kinds model
+	// their own pause pipeline and ignore it.
+	GCWorkers int
+	// WritebackDepth enables the device's asynchronous writeback queue
+	// with the given in-flight batch cap: H2 promotion buffers and
+	// page-cache writeback submit to the queue and the residual service
+	// time is charged when the queue drains at safepoints. 0 keeps the
+	// legacy flat async-overlap discount.
+	WritebackDepth int
+
 	// Verify registers the full-heap invariant verifier hook.
 	Verify bool
 	// FaultPlan, when non-nil, builds this run's fault injector and
@@ -161,6 +175,17 @@ func (e *EventStats) OnFault(error) { e.Faults++ }
 // OnOOM counts a latched out-of-memory condition.
 func (e *EventStats) OnOOM(error) { e.OOMs++ }
 
+// writebackHook drains the device's asynchronous writeback queue at every
+// safepoint. BeforeGC fires while the clock is still in mutator context,
+// so the residual service time lands in Other: the mutator waits for its
+// dirty data to reach the device before the pause begins.
+type writebackHook struct {
+	gc.BaseHook
+	dev *storage.Device
+}
+
+func (w *writebackHook) BeforeGC(gc.Phase) { w.dev.DrainWriteback() }
+
 // NewSession resolves spec into a wired runtime. It panics on an invalid
 // spec (unknown kind, missing TH config), matching the constructors it
 // wraps; experiment code validates sizes beforehand where it needs
@@ -217,6 +242,15 @@ func NewSession(spec Spec) *Session {
 		panic(fmt.Sprintf("rt: unknown runtime kind %d", int(spec.Kind)))
 	}
 
+	// Gang size: cost attribution only, so it is set post-construction on
+	// the collector the PS-based kinds share. G1 kinds model their own
+	// pause pipeline and take no gang.
+	if spec.GCWorkers > 1 {
+		if jvm, ok := s.Runtime.(*JVM); ok {
+			jvm.Collector().Costs.Workers = spec.GCWorkers
+		}
+	}
+
 	// Cross-cutting layers ride the hook plane, in fixed order: the
 	// verifier first (it must see the heap before any layer reacts),
 	// event accounting second.
@@ -225,6 +259,15 @@ func NewSession(spec Spec) *Session {
 	}
 	s.Events = &EventStats{}
 	s.Runtime.Hooks().Register(s.Events)
+
+	// The writeback queue drains at safepoints: a hook charges the
+	// residual service time as mutator (ambient) wait just before each
+	// pause — the documented second exception to the hook plane's
+	// "never charge simulated time" rule.
+	if spec.WritebackDepth > 0 {
+		dev.SetWritebackDepth(spec.WritebackDepth)
+		s.Runtime.Hooks().Register(&writebackHook{dev: dev})
+	}
 
 	s.Injector = fault.NewInjector(spec.FaultPlan)
 	dev.SetFaultInjector(s.Injector)

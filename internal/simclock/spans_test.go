@@ -1,0 +1,67 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSpansMaxAndSum(t *testing.T) {
+	var s Spans
+	s.Reset(3)
+	s.Add(0, 10*time.Nanosecond)
+	s.Add(1, 25*time.Nanosecond)
+	s.Add(2, 5*time.Nanosecond)
+	s.Add(1, 5*time.Nanosecond)
+	if got := s.Max(); got != 30*time.Nanosecond {
+		t.Fatalf("Max = %v, want 30ns", got)
+	}
+	if got := s.Sum(); got != 45*time.Nanosecond {
+		t.Fatalf("Sum = %v, want 45ns", got)
+	}
+	if got := s.Get(1); got != 30*time.Nanosecond {
+		t.Fatalf("Get(1) = %v, want 30ns", got)
+	}
+}
+
+// A one-worker span set must degenerate to serial charging: Max == Sum.
+func TestSpansSingleWorkerEqualsSerial(t *testing.T) {
+	var s Spans
+	s.Reset(1)
+	for i := 0; i < 100; i++ {
+		s.Add(0, time.Duration(i)*time.Nanosecond)
+	}
+	if s.Max() != s.Sum() {
+		t.Fatalf("one worker: Max %v != Sum %v", s.Max(), s.Sum())
+	}
+}
+
+func TestSpansResetReusesBacking(t *testing.T) {
+	var s Spans
+	s.Reset(4)
+	s.Add(3, time.Microsecond)
+	s.Reset(2)
+	if s.Workers() != 2 {
+		t.Fatalf("Workers = %d, want 2", s.Workers())
+	}
+	if s.Max() != 0 || s.Sum() != 0 {
+		t.Fatalf("Reset did not clear spans: max=%v sum=%v", s.Max(), s.Sum())
+	}
+	// Growing back must expose cleared slots, not the stale microsecond.
+	s.Reset(4)
+	if s.Get(3) != 0 {
+		t.Fatalf("grow-after-shrink exposed stale span %v", s.Get(3))
+	}
+	s.Reset(0)
+	if s.Workers() != 1 {
+		t.Fatalf("Reset(0) workers = %d, want 1", s.Workers())
+	}
+}
+
+func TestSpansNegativeChargeIgnored(t *testing.T) {
+	var s Spans
+	s.Reset(2)
+	s.Add(0, -time.Second)
+	if s.Sum() != 0 {
+		t.Fatalf("negative charge leaked: %v", s.Sum())
+	}
+}

@@ -1,0 +1,205 @@
+package storage
+
+import (
+	"testing"
+	"time"
+
+	"github.com/carv-repro/teraheap-go/internal/simclock"
+)
+
+// Account-only paths must guard n <= 0 exactly like every charged path,
+// so stats parity holds between a charged write and an account-only write
+// for any n.
+func TestAccountPathsGuardNonPositive(t *testing.T) {
+	clock := simclock.New()
+	charged := NewDevice(NVMeSSD, clock)
+	acct := NewDevice(NVMeSSD, clock)
+
+	for _, n := range []int64{-4096, -1, 0, 1, 4096} {
+		charged.Read(n)
+		charged.Write(n)
+		acct.AccountRead(n)
+		acct.AccountWrite(n)
+	}
+	if charged.Stats() != acct.Stats() {
+		t.Fatalf("stats parity broken: charged=%+v account=%+v", charged.Stats(), acct.Stats())
+	}
+	want := Stats{ReadOps: 2, WriteOps: 2, BytesRead: 4097, BytesWritten: 4097}
+	if acct.Stats() != want {
+		t.Fatalf("account stats = %+v, want %+v", acct.Stats(), want)
+	}
+}
+
+// Depth 0 keeps WriteAsync on the legacy flat-discount path, byte-identical
+// in cost and stats to a device that never heard of the queue.
+func TestWritebackDepthZeroIsLegacy(t *testing.T) {
+	clockA, clockB := simclock.New(), simclock.New()
+	legacy := NewDevice(NVMeSSD, clockA)
+	gated := NewDevice(NVMeSSD, clockB)
+	gated.SetWritebackDepth(0)
+	gated.SetWritebackDepth(-3) // negative clamps to disabled
+
+	for i := 0; i < 10; i++ {
+		legacy.WriteAsync(8192, DefaultPageSize)
+		gated.WriteAsync(8192, DefaultPageSize)
+	}
+	if clockA.Now() != clockB.Now() {
+		t.Fatalf("depth 0 diverged from legacy: %v vs %v", clockA.Now(), clockB.Now())
+	}
+	if legacy.Stats() != gated.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", legacy.Stats(), gated.Stats())
+	}
+	if gated.DrainWriteback() != 0 {
+		t.Fatal("drain of a disabled queue charged time")
+	}
+}
+
+// A submission charges nothing up front; the drain charges exactly the
+// service time not hidden by intervening mutator compute.
+func TestWritebackOverlapSemantics(t *testing.T) {
+	clock := simclock.New()
+	dev := NewDevice(NVMeSSD, clock)
+	dev.SetWritebackDepth(8)
+
+	serviceCost := dev.Model().seqWriteCost(64*KB, DefaultPageSize)
+
+	dev.WriteAsync(64*KB, DefaultPageSize)
+	if clock.Now() != 0 {
+		t.Fatalf("async submit charged %v up front", clock.Now())
+	}
+	if dev.WritebackPending() != 1 {
+		t.Fatalf("pending = %d, want 1", dev.WritebackPending())
+	}
+
+	// Immediate drain: nothing overlapped, full service time charged.
+	if got := dev.DrainWriteback(); got != serviceCost {
+		t.Fatalf("immediate drain charged %v, want %v", got, serviceCost)
+	}
+
+	// Submit, overlap half the service time with compute, drain: only the
+	// residual half is charged.
+	before := clock.Now()
+	dev.WriteAsync(64*KB, DefaultPageSize)
+	clock.ChargeAmbient(serviceCost / 2)
+	if got := dev.DrainWriteback(); got != serviceCost-serviceCost/2 {
+		t.Fatalf("half-overlapped drain charged %v, want %v", got, serviceCost-serviceCost/2)
+	}
+
+	// Submit, burn more than the service time, drain: fully hidden.
+	dev.WriteAsync(64*KB, DefaultPageSize)
+	clock.ChargeAmbient(2 * serviceCost)
+	if got := dev.DrainWriteback(); got != 0 {
+		t.Fatalf("fully overlapped drain charged %v, want 0", got)
+	}
+	_ = before
+
+	st := dev.WritebackStats()
+	if st.Batches != 3 || st.Drains != 3 || st.Stalls != 0 {
+		t.Fatalf("stats = %+v, want 3 batches, 3 drains, 0 stalls", st)
+	}
+}
+
+// Batches serialize on the single writeback channel: two back-to-back
+// submissions drain for two service times, not one.
+func TestWritebackChannelSerializes(t *testing.T) {
+	clock := simclock.New()
+	dev := NewDevice(NVMeSSD, clock)
+	dev.SetWritebackDepth(8)
+	serviceCost := dev.Model().seqWriteCost(64*KB, DefaultPageSize)
+
+	dev.WriteAsync(64*KB, DefaultPageSize)
+	dev.WriteAsync(64*KB, DefaultPageSize)
+	if got := dev.DrainWriteback(); got != 2*serviceCost {
+		t.Fatalf("drain charged %v, want %v", got, 2*serviceCost)
+	}
+}
+
+// The depth cap blocks the submitter until the oldest batch completes.
+func TestWritebackDepthCapStalls(t *testing.T) {
+	clock := simclock.New()
+	dev := NewDevice(NVMeSSD, clock)
+	dev.SetWritebackDepth(2)
+	serviceCost := dev.Model().seqWriteCost(64*KB, DefaultPageSize)
+
+	dev.WriteAsync(64*KB, DefaultPageSize)
+	dev.WriteAsync(64*KB, DefaultPageSize)
+	if dev.WritebackPending() != 2 {
+		t.Fatalf("pending = %d, want 2", dev.WritebackPending())
+	}
+	// Third submission must wait for batch 1 (completes at serviceCost).
+	dev.WriteAsync(64*KB, DefaultPageSize)
+	if clock.Now() != serviceCost {
+		t.Fatalf("stalled submit advanced clock to %v, want %v", clock.Now(), serviceCost)
+	}
+	st := dev.WritebackStats()
+	if st.Stalls != 1 || time.Duration(st.StallNS) != serviceCost {
+		t.Fatalf("stall stats = %+v, want 1 stall of %v", st, serviceCost)
+	}
+	// Remaining backlog: batches 2 and 3 finish at 2x and 3x service time.
+	if got := dev.DrainWriteback(); got != 2*serviceCost {
+		t.Fatalf("drain charged %v, want %v", got, 2*serviceCost)
+	}
+}
+
+// Concurrent sessions each own a device; the writeback queue must keep
+// all its state per-device so parallel submit/drain schedules never share
+// anything. Run under -race in CI.
+func TestWritebackConcurrentSessionsRace(t *testing.T) {
+	results := make([]time.Duration, 8)
+	done := make(chan int, len(results))
+	for g := range results {
+		go func(g int) {
+			clock := simclock.New()
+			dev := NewDevice(NVMeSSD, clock)
+			dev.SetWritebackDepth(2 + g%3)
+			for i := 0; i < 64; i++ {
+				dev.WriteAsync(int64(1+(g+i)%8)*KB, DefaultPageSize)
+				if i%7 == 0 {
+					clock.ChargeAmbient(time.Duration(i) * 100 * time.Nanosecond)
+				}
+				if i%13 == 0 {
+					dev.DrainWriteback()
+				}
+			}
+			dev.DrainWriteback()
+			results[g] = clock.Now()
+			done <- g
+		}(g)
+	}
+	for range results {
+		<-done
+	}
+	// Same-depth goroutines ran the same schedule modulo g: every slot
+	// must have charged something.
+	for g, d := range results {
+		if d <= 0 {
+			t.Fatalf("goroutine %d charged nothing", g)
+		}
+	}
+}
+
+// Same submission schedule, two processes' worth of devices: identical
+// charges and stats (determinism pin for the queue bookkeeping).
+func TestWritebackDeterministic(t *testing.T) {
+	run := func() (time.Duration, WritebackStats, Stats) {
+		clock := simclock.New()
+		dev := NewDevice(NVMeSSD, clock)
+		dev.SetWritebackDepth(3)
+		for i := 0; i < 32; i++ {
+			dev.WriteAsync(int64(4+i)*KB, DefaultPageSize)
+			if i%5 == 0 {
+				clock.ChargeAmbient(time.Duration(i) * time.Microsecond)
+			}
+			if i%11 == 0 {
+				dev.DrainWriteback()
+			}
+		}
+		dev.DrainWriteback()
+		return clock.Now(), dev.WritebackStats(), dev.Stats()
+	}
+	t1, w1, s1 := run()
+	t2, w2, s2 := run()
+	if t1 != t2 || w1 != w2 || s1 != s2 {
+		t.Fatalf("writeback bookkeeping not deterministic:\n%v %+v %+v\n%v %+v %+v", t1, w1, s1, t2, w2, s2)
+	}
+}
