@@ -274,3 +274,83 @@ func TestChaosSubcommand(t *testing.T) {
 		}
 	}
 }
+
+// TestChaosRecoveredOnlyExitsZero pins the chaos exit contract from the
+// self-healing side: a schedule whose runs end RECOVERED (faults absorbed
+// by salvage, no panic, no OOM) is a robustness success and exits 0 —
+// recovery working as designed must not read as a CI failure.
+func TestChaosRecoveredOnlyExitsZero(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"-fault", "seed=1,region-fail=0.02,wb-fail=0.05,torn=0.05", "chaos"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 for a recovered-only schedule (stderr:\n%s)", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "RECOVERED") {
+		t.Fatalf("schedule did not exercise recovery:\n%s", out)
+	}
+	if !strings.Contains(out, "panicked=0") || !strings.Contains(out, "oom=0") {
+		t.Errorf("summary missing zero panic/OOM counters:\n%s", out)
+	}
+}
+
+// TestServeMalformedConfigExitsTwo: serve config errors are usage errors
+// (exit 2) naming the offending knob, mirroring -fault plan parsing.
+func TestServeMalformedConfigExitsTwo(t *testing.T) {
+	for _, dsl := range []string{"speed=1", "rate=60000,rate=1", "zipf=NaN", "deadline=-2ms"} {
+		var stdout, stderr strings.Builder
+		if code := run([]string{"serve", dsl}, &stdout, &stderr); code != 2 {
+			t.Errorf("serve %q: exit code = %d, want 2 (stderr:\n%s)", dsl, code, stderr.String())
+		}
+		if !strings.Contains(stderr.String(), "server:") {
+			t.Errorf("serve %q: stderr missing config error:\n%s", dsl, stderr.String())
+		}
+	}
+}
+
+// TestServeSubcommandDeterministic: a reduced sweep prints the SLO table
+// and two invocations in one process are byte-identical (the CI job pins
+// the cross-process half).
+func TestServeSubcommandDeterministic(t *testing.T) {
+	runServe := func() (string, int) {
+		var stdout, stderr strings.Builder
+		code := run([]string{"serve", "reqs=2000,keys=1024,clients=50000"}, &stdout, &stderr)
+		if stderr.Len() != 0 {
+			t.Fatalf("unexpected stderr:\n%s", stderr.String())
+		}
+		return stdout.String(), code
+	}
+	a, codeA := runServe()
+	b, codeB := runServe()
+	if codeA != 0 || codeB != 0 {
+		t.Fatalf("exit codes = %d, %d, want 0", codeA, codeB)
+	}
+	if a != b {
+		t.Fatalf("same-seed serve runs diverged:\n--- a ---\n%s\n--- b ---\n%s", a, b)
+	}
+	for _, want := range []string{"== serve:", "sloViol", "serve/th/", "serve/g1+th/"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("serve report missing %q:\n%s", want, a)
+		}
+	}
+}
+
+// TestChaosServeSubcommand: the serve chaos schedule completes with zero
+// panics, visible shedding, and a recovered-throughput verdict, and obeys
+// the pinned exit contract (0 unless panic/OOM).
+func TestChaosServeSubcommand(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run([]string{"chaos-serve"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 (stderr:\n%s\nstdout:\n%s)", code, stderr.String(), stdout.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"== chaos-serve:", "verifier on", "panicked=0", "throughput: recovered", "totals: shed="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chaos-serve report missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "totals: shed=0 ") {
+		t.Errorf("chaos-serve shed nothing under the default plan:\n%s", out)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"github.com/carv-repro/teraheap-go/internal/recovery"
 	"github.com/carv-repro/teraheap-go/internal/rt"
 	"github.com/carv-repro/teraheap-go/internal/serde"
+	"github.com/carv-repro/teraheap-go/internal/server"
 	"github.com/carv-repro/teraheap-go/internal/simclock"
 	"github.com/carv-repro/teraheap-go/internal/spark"
 	"github.com/carv-repro/teraheap-go/internal/sparksql"
@@ -108,6 +109,10 @@ type RunResult struct {
 	// Recovery snapshots the self-healing layer's counters (TeraHeap runs
 	// with recovery installed only).
 	Recovery *recovery.Stats
+
+	// Serve carries the request-plane report for serve-mode runs (nil for
+	// batch runs).
+	Serve *server.Stats
 }
 
 // Degraded reports a run that absorbed injected faults and still completed:

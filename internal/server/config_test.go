@@ -1,0 +1,138 @@
+package server
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseConfigDefaults(t *testing.T) {
+	got, err := ParseConfig("")
+	if err != nil {
+		t.Fatalf("ParseConfig(\"\"): %v", err)
+	}
+	if got != DefaultConfig() {
+		t.Errorf("empty DSL diverges from DefaultConfig:\n got %+v\nwant %+v", got, DefaultConfig())
+	}
+}
+
+func TestParseConfigOverrides(t *testing.T) {
+	c, err := ParseConfig("seed=9,rate=180000,deadline=500us,queue=32,retries=0,reads=0.5,scan=0.25")
+	if err != nil {
+		t.Fatalf("ParseConfig: %v", err)
+	}
+	if c.Seed != 9 || c.RatePerSec != 180000 || c.Deadline != 500*time.Microsecond ||
+		c.QueueDepth != 32 || c.MaxRetries != 0 || c.ReadFrac != 0.5 || c.ScanFrac != 0.25 {
+		t.Errorf("overrides not applied: %+v", c)
+	}
+	if c.Keys != DefaultConfig().Keys {
+		t.Errorf("untouched knob changed: keys = %d", c.Keys)
+	}
+}
+
+func TestParseConfigErrors(t *testing.T) {
+	cases := []struct {
+		dsl  string
+		want string // substring of the error
+	}{
+		{"rate=60000,rate=20000", "duplicate config key"},
+		{"speed=1", "unknown config key"},
+		{"rate", "not key=value"},
+		{"rate=NaN", "finite"},
+		{"rate=-5", "rate=-5"},
+		{"rate=1e30", "rate=1e+30"}, // interarrival truncates below 1ns
+		{"reqs=0", "reqs=0"},
+		{"reqs=2000000000000", "reqs="},
+		{"zipf=0", "zipf=0"},
+		{"zipf=9", "zipf=9"},
+		{"deadline=abc", "bad deadline"},
+		{"deadline=-1ms", "deadline=-1ms"},
+		{"queue=0", "queue=0"},
+		{"retries=17", "retries=17"},
+		{"reads=0.8,scan=0.3", "sum past 1"},
+		{"scanlen=0", "scanlen=0"},
+		{"scanlen=65", "scanlen=65"},
+		{"churn=1.5", "churn=1.5"},
+		{"hot=-0.1", "hot=-0.1"},
+		{"vwords=0", "vwords=0"},
+		{"keys=0", "keys=0"},
+		{"clients=0", "clients=0"},
+		{"backoff=0s", "backoff=0s"},
+	}
+	for _, tc := range cases {
+		_, err := ParseConfig(tc.dsl)
+		if err == nil {
+			t.Errorf("ParseConfig(%q): want error containing %q, got nil", tc.dsl, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("ParseConfig(%q) = %v, want error containing %q", tc.dsl, err, tc.want)
+		}
+	}
+}
+
+func TestConfigStringRoundTrip(t *testing.T) {
+	for _, dsl := range []string{
+		"",
+		"rate=60000,deadline=2ms,queue=64",
+		"seed=7,rate=180000,reqs=30000,deadline=1ms,retries=5,backoff=100us",
+		"keys=65536,vwords=256,zipf=1.2,hot=0.1,churn=0.05,scan=0.2,scanlen=8",
+	} {
+		c, err := ParseConfig(dsl)
+		if err != nil {
+			t.Fatalf("ParseConfig(%q): %v", dsl, err)
+		}
+		again, err := ParseConfig(c.String())
+		if err != nil {
+			t.Fatalf("ParseConfig(String(%q)) = ParseConfig(%q): %v", dsl, c.String(), err)
+		}
+		if again != c {
+			t.Errorf("round trip of %q diverged:\n  canon %q\n  got   %+v\n  want  %+v", dsl, c.String(), again, c)
+		}
+	}
+}
+
+// FuzzParseConfig is the parser's robustness harness: no input may panic
+// it, any accepted config must validate, and the canonical String() form
+// must round trip to an identical config — the property the CLI's
+// determinism contract rests on (a config that re-parses differently
+// would make `serve` runs irreproducible from their own headers).
+func FuzzParseConfig(f *testing.F) {
+	// Corpus: the README/usage examples plus edge-shaped inputs.
+	for _, seed := range []string{
+		"",
+		"rate=60000,deadline=2ms,queue=64",
+		"seed=7,rate=180000,reqs=30000,deadline=1ms",
+		"keys=65536,vwords=256,zipf=1.2,hot=0.1",
+		"reads=0.5,scan=0.5,scanlen=64,churn=1,retries=0",
+		DefaultConfig().String(),
+		"rate=1e30",
+		"rate=-0,zipf=0x1p-3",
+		"deadline=2ms,deadline=2ms",
+		"  rate = 5 ,,",
+		"seed=18446744073709551615",
+		"rate=NaN,scan=Inf",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, dsl string) {
+		c, err := ParseConfig(dsl) // must not panic
+		if err != nil {
+			return
+		}
+		if verr := c.Validate(); verr != nil {
+			t.Fatalf("accepted config fails Validate: %v (input %q)", verr, dsl)
+		}
+		if _, ierr := c.Interarrival(); ierr != nil {
+			t.Fatalf("accepted config has invalid interarrival: %v (input %q)", ierr, dsl)
+		}
+		again, rerr := ParseConfig(c.String())
+		if rerr != nil {
+			t.Fatalf("canonical form rejected: %v (canon %q, input %q)", rerr, c.String(), dsl)
+		}
+		if again != c {
+			t.Fatalf("canonical round trip diverged (input %q):\n canon %q\n got   %+v\n want  %+v",
+				dsl, c.String(), again, c)
+		}
+	})
+}
