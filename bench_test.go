@@ -19,6 +19,7 @@ import (
 	"github.com/carv-repro/teraheap-go/internal/core"
 	"github.com/carv-repro/teraheap-go/internal/experiments"
 	"github.com/carv-repro/teraheap-go/internal/giraph"
+	"github.com/carv-repro/teraheap-go/internal/rt"
 	"github.com/carv-repro/teraheap-go/internal/storage"
 )
 
@@ -100,9 +101,9 @@ func benchFig8(b *testing.B, workload string) {
 	spec := experiments.SparkWorkloads()
 	_ = spec
 	for i := 0; i < b.N; i++ {
-		ps := experiments.RunSpark(experiments.SparkRun{Workload: workload, Runtime: experiments.RuntimePS, DramGB: 80})
-		g1r := experiments.RunSpark(experiments.SparkRun{Workload: workload, Runtime: experiments.RuntimeG1, DramGB: 80})
-		th := experiments.RunSpark(experiments.SparkRun{Workload: workload, Runtime: experiments.RuntimeTH, DramGB: 80})
+		ps := experiments.RunSpark(experiments.SparkRun{Workload: workload, Runtime: rt.KindPS, DramGB: 80})
+		g1r := experiments.RunSpark(experiments.SparkRun{Workload: workload, Runtime: rt.KindG1, DramGB: 80})
+		th := experiments.RunSpark(experiments.SparkRun{Workload: workload, Runtime: rt.KindTH, DramGB: 80})
 		if i == b.N-1 {
 			reportRuns(b, ps, g1r, th)
 		}
@@ -234,8 +235,8 @@ func BenchmarkFig11bPhases(b *testing.B) {
 
 func BenchmarkFig12aNVMSparkSD(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		sd := experiments.RunSpark(experiments.SparkRun{Workload: "PR", Runtime: experiments.RuntimePS, DramGB: 80, Device: storage.NVM})
-		th := experiments.RunSpark(experiments.SparkRun{Workload: "PR", Runtime: experiments.RuntimeTH, DramGB: 80, Device: storage.NVM})
+		sd := experiments.RunSpark(experiments.SparkRun{Workload: "PR", Runtime: rt.KindPS, DramGB: 80, Device: storage.NVM})
+		th := experiments.RunSpark(experiments.SparkRun{Workload: "PR", Runtime: rt.KindTH, DramGB: 80, Device: storage.NVM})
 		if i == b.N-1 {
 			reportRuns(b, sd, th)
 		}
@@ -244,8 +245,8 @@ func BenchmarkFig12aNVMSparkSD(b *testing.B) {
 
 func BenchmarkFig12bNVMMemoryMode(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		mo := experiments.RunSpark(experiments.SparkRun{Workload: "PR", Runtime: experiments.RuntimeMO, DramGB: 80, Device: storage.NVM})
-		th := experiments.RunSpark(experiments.SparkRun{Workload: "PR", Runtime: experiments.RuntimeTH, DramGB: 80, Device: storage.NVM})
+		mo := experiments.RunSpark(experiments.SparkRun{Workload: "PR", Runtime: rt.KindMO, DramGB: 80, Device: storage.NVM})
+		th := experiments.RunSpark(experiments.SparkRun{Workload: "PR", Runtime: rt.KindTH, DramGB: 80, Device: storage.NVM})
 		if i == b.N-1 {
 			reportRuns(b, mo, th)
 		}
@@ -255,8 +256,8 @@ func BenchmarkFig12bNVMMemoryMode(b *testing.B) {
 func BenchmarkFig12cPanthera(b *testing.B) {
 	const scale = 30.0 / 64.0 // size the dataset to Panthera's 64GB heap
 	for i := 0; i < b.N; i++ {
-		p := experiments.RunSpark(experiments.SparkRun{Workload: "KM", Runtime: experiments.RuntimePanthera, DramGB: 16, Device: storage.NVM, DatasetScale: scale})
-		th := experiments.RunSpark(experiments.SparkRun{Workload: "KM", Runtime: experiments.RuntimeTH, DramGB: 32, Device: storage.NVM, DatasetScale: scale})
+		p := experiments.RunSpark(experiments.SparkRun{Workload: "KM", Runtime: rt.KindPanthera, DramGB: 16, Device: storage.NVM, DatasetScale: scale})
+		th := experiments.RunSpark(experiments.SparkRun{Workload: "KM", Runtime: rt.KindTH, DramGB: 32, Device: storage.NVM, DatasetScale: scale})
 		if i == b.N-1 {
 			reportRuns(b, p, th)
 		}
@@ -270,8 +271,8 @@ func BenchmarkFig13aThreads(b *testing.B) {
 		threads := threads
 		b.Run("t"+itoa(int64(threads)), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				sd := experiments.RunSpark(experiments.SparkRun{Workload: "CC", Runtime: experiments.RuntimePS, DramGB: 84, Threads: threads})
-				th := experiments.RunSpark(experiments.SparkRun{Workload: "CC", Runtime: experiments.RuntimeTH, DramGB: 84, Threads: threads})
+				sd := experiments.RunSpark(experiments.SparkRun{Workload: "CC", Runtime: rt.KindPS, DramGB: 84, Threads: threads})
+				th := experiments.RunSpark(experiments.SparkRun{Workload: "CC", Runtime: rt.KindTH, DramGB: 84, Threads: threads})
 				if i == b.N-1 {
 					reportRuns(b, sd, th)
 				}
@@ -282,8 +283,8 @@ func BenchmarkFig13aThreads(b *testing.B) {
 
 func BenchmarkFig13bDataset(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		base := experiments.RunSpark(experiments.SparkRun{Workload: "CC", Runtime: experiments.RuntimeTH, DramGB: 84})
-		large := experiments.RunSpark(experiments.SparkRun{Workload: "CC", Runtime: experiments.RuntimeTH, DramGB: 84 * 73 / 32, DatasetScale: 73.0 / 32.0})
+		base := experiments.RunSpark(experiments.SparkRun{Workload: "CC", Runtime: rt.KindTH, DramGB: 84})
+		large := experiments.RunSpark(experiments.SparkRun{Workload: "CC", Runtime: rt.KindTH, DramGB: 84 * 73 / 32, DatasetScale: 73.0 / 32.0})
 		if i == b.N-1 {
 			reportRuns(b, base, large)
 		}
@@ -373,7 +374,7 @@ func BenchmarkAblationStriping(b *testing.B) {
 		b.Run("ssd"+itoa(int64(n)), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				r := experiments.RunSpark(experiments.SparkRun{
-					Workload: "LR", Runtime: experiments.RuntimeTH, DramGB: 70, Stripes: n,
+					Workload: "LR", Runtime: rt.KindTH, DramGB: 70, Stripes: n,
 				})
 				if i == b.N-1 {
 					b.ReportMetric(float64(r.B.Total().Milliseconds()), "sim-ms")
@@ -389,7 +390,7 @@ func BenchmarkAblationHugePages(b *testing.B) {
 		b.Run(segName(int64(ps)), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				r := experiments.RunSpark(experiments.SparkRun{
-					Workload: "LR", Runtime: experiments.RuntimeTH, DramGB: 70,
+					Workload: "LR", Runtime: rt.KindTH, DramGB: 70,
 					THConfig: func(c *core.Config) { c.PageSize = ps },
 				})
 				if i == b.N-1 {

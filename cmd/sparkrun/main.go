@@ -12,30 +12,28 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"github.com/carv-repro/teraheap-go/internal/experiments"
+	"github.com/carv-repro/teraheap-go/internal/rt"
 	"github.com/carv-repro/teraheap-go/internal/simclock"
 	"github.com/carv-repro/teraheap-go/internal/storage"
 )
 
 func main() {
 	workload := flag.String("workload", "PR", "Spark workload: PR CC SSSP SVD TR LR LgR SVM BC RL KM")
-	runtime := flag.String("runtime", "th", "runtime: sd th g1 mo panthera")
+	runtime := flag.String("runtime", "th", "runtime: "+strings.Join(rt.KindNames(), " "))
 	dram := flag.Float64("dram", 80, "DRAM budget in paper-GB")
 	device := flag.String("device", "nvme", "H2/off-heap device: nvme or nvm")
 	threads := flag.Int("threads", 8, "executor mutator threads")
 	scale := flag.Float64("scale", 1, "dataset scale factor")
 	flag.Parse()
 
-	kinds := map[string]experiments.RuntimeKind{
-		"sd": experiments.RuntimePS, "th": experiments.RuntimeTH,
-		"g1": experiments.RuntimeG1, "mo": experiments.RuntimeMO,
-		"panthera": experiments.RuntimePanthera,
-	}
-	kind, ok := kinds[*runtime]
+	kind, ok := rt.KindByName(*runtime)
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown runtime %q\n", *runtime)
+		fmt.Fprintf(os.Stderr, "unknown runtime %q (valid: %s)\n",
+			*runtime, strings.Join(rt.KindNames(), " "))
 		os.Exit(2)
 	}
 	dev := storage.NVMeSSD

@@ -38,6 +38,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"github.com/carv-repro/teraheap-go/internal/experiments"
@@ -220,6 +221,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		r := experiments.ChaosServe(plan, cfg)
 		fmt.Fprint(stdout, r.Format())
 		return chaosExit("chaos-serve", r.ChaosResult, stderr)
+	case "pretenure":
+		// The placement-policy figure sweeps every registered runtime kind
+		// (or the colon-separated subset in the argument) over one Spark
+		// configuration. Like "workers" it is not part of "all": its point
+		// is the 8-way kind comparison, which grows with the registry.
+		var names []string
+		if arg != "" {
+			names = strings.Split(arg, ":")
+		}
+		kinds, err := experiments.PretenureKinds(names)
+		if err != nil {
+			fmt.Fprintf(stderr, "teraheap-bench: pretenure: %v\n", err)
+			return 2
+		}
+		r := experiments.Pretenure(kinds)
+		if *csvOut {
+			fmt.Fprint(stdout, r.CSV())
+		} else {
+			fmt.Fprint(stdout, r.Format())
+		}
 	case "workers":
 		// The worker-scaling figure is deliberately not part of the "all"
 		// suite: it varies GCWorkers, and "all" output stays byte-identical
@@ -432,8 +453,17 @@ experiments:
   fig7 fig8 fig9a fig9b fig10 fig11a fig11b
   fig12a fig12b fig12c fig13a fig13b
   table5 barrier workers serve chaos-serve all chaos bench
+  pretenure [KIND:KIND:...]
   ablation-groups ablation-striping ablation-hugepages
   ablation-dynamic ablation-sizeseg ablation-g1th
+
+pretenure is the placement-policy figure: every registered runtime kind
+(ps th g1 mo panthera g1+th ng2c deca, or the colon-separated subset
+given as the argument) runs one Spark PageRank configuration; the tables
+compare GC pause composition and H2 traffic, plus the NG2C allocation-
+site profile and Deca epoch-region counters. Unknown kinds are usage
+errors naming the valid set. Not part of "all"; byte-identical for
+every -j.
 
 serve is the server-mode workload plane: an open-loop KV/analytics request
 stream (Zipf keys, session churn, per-request deadlines, a bounded

@@ -308,6 +308,40 @@ func TestServeMalformedConfigExitsTwo(t *testing.T) {
 	}
 }
 
+// TestPretenureUnknownKindExitsTwo: the placement figure validates its
+// kind list against the registry and fails usage-style, naming the full
+// valid set, before any run starts.
+func TestPretenureUnknownKindExitsTwo(t *testing.T) {
+	for _, arg := range []string{"bogus", "ps:warp", "ps::th"} {
+		var stdout, stderr strings.Builder
+		if code := run([]string{"pretenure", arg}, &stdout, &stderr); code != 2 {
+			t.Fatalf("pretenure %q: exit code = %d, want 2 (stderr:\n%s)", arg, code, stderr.String())
+		}
+		if stdout.Len() != 0 {
+			t.Errorf("pretenure %q: wrote to stdout before failing: %q", arg, stdout.String())
+		}
+		msg := stderr.String()
+		if !strings.Contains(msg, "unknown runtime kind") ||
+			!strings.Contains(msg, "valid: ps th g1 mo panthera g1+th ng2c deca") {
+			t.Errorf("pretenure %q: stderr must name the bad kind and the valid set:\n%s", arg, msg)
+		}
+	}
+}
+
+// TestServeUnknownKindExitsTwo: the serve kinds= filter goes through the
+// same registry validation.
+func TestServeUnknownKindExitsTwo(t *testing.T) {
+	var stdout, stderr strings.Builder
+	if code := run([]string{"serve", "kinds=ps:warp"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit code = %d, want 2 (stderr:\n%s)", code, stderr.String())
+	}
+	msg := stderr.String()
+	if !strings.Contains(msg, `unknown kind "warp"`) ||
+		!strings.Contains(msg, "valid: ps th g1 mo panthera g1+th ng2c deca") {
+		t.Errorf("stderr must name the bad kind and the valid set:\n%s", msg)
+	}
+}
+
 // TestServeSubcommandDeterministic: a reduced sweep prints the SLO table
 // and two invocations in one process are byte-identical (the CI job pins
 // the cross-process half).

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"github.com/carv-repro/teraheap-go/internal/gc"
+	"github.com/carv-repro/teraheap-go/internal/placement"
 	"github.com/carv-repro/teraheap-go/internal/simclock"
 	"github.com/carv-repro/teraheap-go/internal/vm"
 )
@@ -137,6 +138,10 @@ type G1 struct {
 	// gc.Collector's); vhook is the registered verifier hook, if any.
 	hooks gc.Hooks
 	vhook *verifyHook
+
+	// policy is the placement-policy seam for young-evacuation promotion
+	// decisions; placement.Default reproduces the legacy age threshold.
+	policy placement.Policy
 }
 
 var _ = fmt.Sprintf // keep fmt imported for panics below
@@ -156,7 +161,7 @@ func New(cfg Config, classes *vm.ClassTable, clock *simclock.Clock) *G1 {
 	if n < 8 {
 		panic("g1: need at least 8 regions")
 	}
-	g := &G1{cfg: cfg, clock: clock, classes: classes, as: &vm.AddressSpace{}, roots: vm.NewRootSet(), th: gc.NoSecondHeap{}}
+	g := &G1{cfg: cfg, clock: clock, classes: classes, as: &vm.AddressSpace{}, roots: vm.NewRootSet(), th: gc.NoSecondHeap{}, policy: placement.Default{}}
 	if cfg.Verify || os.Getenv("TH_VERIFY") == "1" {
 		g.SetVerify(true)
 	}
@@ -257,3 +262,12 @@ func (g *G1) AddressSpace() *vm.AddressSpace { return g.as }
 // AttachSecondHeap wires a TeraHeap into the collector (TeraHeap-under-
 // G1). Must be called before any allocation.
 func (g *G1) AttachSecondHeap(th gc.SecondHeap) { g.th = th }
+
+// SetPlacementPolicy installs a placement policy; nil restores the
+// default (legacy) policy. Must be called before any allocation.
+func (g *G1) SetPlacementPolicy(p placement.Policy) {
+	if p == nil {
+		p = placement.Default{}
+	}
+	g.policy = p
+}

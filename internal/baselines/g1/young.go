@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"github.com/carv-repro/teraheap-go/internal/gc"
+	"github.com/carv-repro/teraheap-go/internal/placement"
 	"github.com/carv-repro/teraheap-go/internal/simclock"
 	"github.com/carv-repro/teraheap-go/internal/vm"
 )
@@ -87,7 +88,9 @@ func (g *G1) youngGCNoMark() error {
 			return g.mem.Forwardee(a)
 		}
 		size := g.mem.SizeWords(a)
-		age := g.mem.Age(a) + 1
+		status := g.mem.Status(a)
+		site := placement.SiteFromStatus(status)
+		age := vm.StatusAge(status) + 1
 		var dst vm.Addr
 		var ok bool
 		promoted := false
@@ -109,7 +112,7 @@ func (g *G1) youngGCNoMark() error {
 			}
 			return false
 		}
-		if age >= g.cfg.TenureAge {
+		if g.policy.Promote(site, age, g.cfg.TenureAge) {
 			promoted = place(&curOld, regOld)
 		}
 		if !ok {
@@ -132,6 +135,7 @@ func (g *G1) youngGCNoMark() error {
 			bytesCopied += int64(size) * vm.WordSize
 		}
 		worklist = append(worklist, dst)
+		g.policy.NoteScavenge(site, age, promoted)
 		return dst
 	}
 

@@ -26,6 +26,7 @@ import (
 
 	"github.com/carv-repro/teraheap-go/internal/fault"
 	"github.com/carv-repro/teraheap-go/internal/gc"
+	"github.com/carv-repro/teraheap-go/internal/placement"
 	"github.com/carv-repro/teraheap-go/internal/simclock"
 	"github.com/carv-repro/teraheap-go/internal/storage"
 	"github.com/carv-repro/teraheap-go/internal/vm"
@@ -156,6 +157,11 @@ type TeraHeap struct {
 	// checksum scrubber (ScrubStep).
 	scrubCursor int
 
+	// placement, when non-nil, overrides the H2 movement decisions
+	// (young->H2 on minor GC, closure moves at major GC). Nil keeps the
+	// legacy hint/threshold logic bit-for-bit.
+	placement placement.Policy
+
 	stats Stats
 }
 
@@ -249,6 +255,10 @@ func (th *TeraHeap) SetAdmission(f func() bool) { th.admit = f }
 // AttachMem wires the object accessors (built after the collector) into
 // the card-table scanner.
 func (th *TeraHeap) AttachMem(m *vm.Mem) { th.mem = m }
+
+// SetPlacementPolicy installs a placement policy over the H2 movement
+// decisions; nil restores the legacy hint/threshold logic.
+func (th *TeraHeap) SetPlacementPolicy(p placement.Policy) { th.placement = p }
 
 // Mapped exposes the underlying mapping (examples, tests, experiments).
 func (th *TeraHeap) Mapped() *storage.MappedFile { return th.mapped }
@@ -345,7 +355,11 @@ func (th *TeraHeap) DirtyCard(a vm.Addr) {
 // movement under pressure runs through the major-GC closure instead,
 // where advised groups go first and the budget applies).
 func (th *TeraHeap) MoveOnMinor(label uint64) bool {
-	return th.cfg.EnableMoveHint && th.advised(label)
+	advised := th.cfg.EnableMoveHint && th.advised(label)
+	if th.placement != nil {
+		return th.placement.MoveToH2OnMinor(label, advised)
+	}
+	return advised
 }
 
 // Advised reports whether label's move hint was issued.
@@ -359,6 +373,15 @@ func (th *TeraHeap) Advised(label uint64) bool {
 // above the relief target — the low threshold when set, otherwise the
 // high threshold.
 func (th *TeraHeap) ShouldMoveLabel(label uint64, selectedWords int64) bool {
+	legacy := th.shouldMoveLabelLegacy(label, selectedWords)
+	if th.placement != nil {
+		return th.placement.MoveClosureAtMajor(label, legacy)
+	}
+	return legacy
+}
+
+// shouldMoveLabelLegacy is the pre-policy-plane decision, verbatim.
+func (th *TeraHeap) shouldMoveLabelLegacy(label uint64, selectedWords int64) bool {
 	if th.cfg.EnableMoveHint && th.advised(label) {
 		return true
 	}

@@ -45,7 +45,7 @@ func AblationStriping() string {
 	stripes := []int{1, 2, 4}
 	var specs []Spec
 	for _, n := range stripes {
-		specs = append(specs, SparkSpec(SparkRun{Workload: "LR", Runtime: RuntimeTH, DramGB: 70, Stripes: n}))
+		specs = append(specs, SparkSpec(SparkRun{Workload: "LR", Runtime: rt.KindTH, DramGB: 70, Stripes: n}))
 	}
 	runs := RunAll(specs)
 	var sb strings.Builder
@@ -74,7 +74,7 @@ func AblationHugePages() string {
 	var specs []Spec
 	for _, ps := range pageSizes {
 		size := ps.size
-		specs = append(specs, SparkSpec(SparkRun{Workload: "LR", Runtime: RuntimeTH, DramGB: 70,
+		specs = append(specs, SparkSpec(SparkRun{Workload: "LR", Runtime: rt.KindTH, DramGB: 70,
 			THConfig: func(c *core.Config) { c.PageSize = size }}))
 	}
 	runs := RunAll(specs)
@@ -132,8 +132,8 @@ func AblationG1TeraHeap() string {
 	for _, w := range workloads {
 		dram := sparkSpecs[w].thDramGB[len(sparkSpecs[w].thDramGB)-1]
 		specs = append(specs,
-			SparkSpec(SparkRun{Workload: w, Runtime: RuntimeG1, DramGB: dram}),
-			SparkSpec(SparkRun{Workload: w, Runtime: RuntimeG1TH, DramGB: dram}))
+			SparkSpec(SparkRun{Workload: w, Runtime: rt.KindG1, DramGB: dram}),
+			SparkSpec(SparkRun{Workload: w, Runtime: rt.KindG1TH, DramGB: dram}))
 	}
 	runs := RunAll(specs)
 	var sb strings.Builder

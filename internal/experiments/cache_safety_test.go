@@ -3,6 +3,7 @@ package experiments
 import (
 	"testing"
 
+	"github.com/carv-repro/teraheap-go/internal/rt"
 	"github.com/carv-repro/teraheap-go/internal/workloads"
 )
 
@@ -51,8 +52,8 @@ func TestCachedDatasetsSurviveRuns(t *testing.T) {
 	prSnap := snapshotGraph(prGraph)
 	ssspSnap := snapshotGraph(ssspGraph)
 
-	r1 := RunSpark(SparkRun{Workload: "PR", Runtime: RuntimeTH, DramGB: 32})
-	r2 := RunSpark(SparkRun{Workload: "SSSP", Runtime: RuntimeTH, DramGB: 37})
+	r1 := RunSpark(SparkRun{Workload: "PR", Runtime: rt.KindTH, DramGB: 32})
+	r2 := RunSpark(SparkRun{Workload: "SSSP", Runtime: rt.KindTH, DramGB: 37})
 	if r1.OOM || r2.OOM {
 		t.Fatalf("unexpected OOM: PR=%v SSSP=%v", r1.OOM, r2.OOM)
 	}

@@ -8,6 +8,7 @@ import (
 	"github.com/carv-repro/teraheap-go/internal/core"
 	"github.com/carv-repro/teraheap-go/internal/fault"
 	"github.com/carv-repro/teraheap-go/internal/giraph"
+	"github.com/carv-repro/teraheap-go/internal/rt"
 )
 
 // ChaosResult captures one chaos-harness execution: the plan it ran under
@@ -104,12 +105,20 @@ func (r ChaosResult) Format() string {
 // the Fig 9a hint pair for Giraph PR (mutable stores forced to H2, so
 // device read-modify-writes absorb the injected errors). Every spec
 // carries ctx explicitly, so the harness never touches the process-default
-// context — chaos runs can interleave with default-context runs.
+// context — chaos runs can interleave with default-context runs. The
+// NG2C run uses the pretenure figure's hints-off configuration so its
+// placement policy is actually exercised (pretenured allocations, policy
+// promotions, demotion feedback) while faults land; Deca's epoch regions
+// live on a DRAM device, so its chaos coverage is the H2 region plane
+// (region-fail, corrupt) without the storage latency model.
 func chaosSpecs(ctx *RunContext) []Spec {
 	return []Spec{
-		SparkSpec(SparkRun{Workload: "PR", Runtime: RuntimePS, DramGB: 80, Ctx: ctx}),
-		SparkSpec(SparkRun{Workload: "PR", Runtime: RuntimeTH, DramGB: 80, Ctx: ctx}),
-		SparkSpec(SparkRun{Workload: "LR", Runtime: RuntimeTH, DramGB: 43, Ctx: ctx}),
+		SparkSpec(SparkRun{Workload: "PR", Runtime: rt.KindPS, DramGB: 80, Ctx: ctx}),
+		SparkSpec(SparkRun{Workload: "PR", Runtime: rt.KindTH, DramGB: 80, Ctx: ctx}),
+		SparkSpec(SparkRun{Workload: "LR", Runtime: rt.KindTH, DramGB: 43, Ctx: ctx}),
+		SparkSpec(SparkRun{Workload: "PR", Runtime: rt.KindNG2C, DramGB: 44, DatasetScale: 30.0 / 80.0, Ctx: ctx,
+			THConfig: func(c *core.Config) { c.EnableMoveHint = false }}),
+		SparkSpec(SparkRun{Workload: "PR", Runtime: rt.KindDeca, DramGB: 44, DatasetScale: 30.0 / 80.0, Ctx: ctx}),
 		GiraphSpec(GiraphRun{Workload: "PR", Mode: giraph.ModeTH, DramGB: 74, Ctx: ctx,
 			THConfig: func(c *core.Config) {
 				c.EnableMoveHint = false

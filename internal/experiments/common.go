@@ -20,6 +20,7 @@ import (
 	"github.com/carv-repro/teraheap-go/internal/graphx"
 	"github.com/carv-repro/teraheap-go/internal/metrics"
 	"github.com/carv-repro/teraheap-go/internal/mllib"
+	"github.com/carv-repro/teraheap-go/internal/placement"
 	"github.com/carv-repro/teraheap-go/internal/recovery"
 	"github.com/carv-repro/teraheap-go/internal/rt"
 	"github.com/carv-repro/teraheap-go/internal/serde"
@@ -40,25 +41,12 @@ func GB(g float64) int64 { return int64(g*float64(Scale)) &^ 63 }
 // DR2GB is the Spark system reserve (driver + kernel page cache).
 const DR2GB = 16.0
 
-// RuntimeKind selects the managed runtime for a run.
-type RuntimeKind int
-
-// Runtime kinds.
-const (
-	RuntimePS RuntimeKind = iota // native Parallel Scavenge JVM
-	RuntimeTH                    // PS + TeraHeap
-	RuntimeG1                    // Garbage First
-	RuntimeMO                    // PS over NVM memory mode (Spark-MO)
-	RuntimePanthera
-	// RuntimeG1TH is Garbage First with an attached TeraHeap (the §7.1
-	// "TeraHeap can also be used with G1" configuration).
-	RuntimeG1TH
-)
-
-// SparkRun configures one Spark experiment run.
+// SparkRun configures one Spark experiment run. Runtime is an rt.Kind:
+// the rt kind registry is the single enumeration of runtimes — there is
+// no experiments-local mirror to keep in sync.
 type SparkRun struct {
 	Workload string
-	Runtime  RuntimeKind
+	Runtime  rt.Kind
 	DramGB   float64
 	// Device technology backing H2 / off-heap (NVMe or NVM).
 	Device storage.Kind
@@ -109,6 +97,10 @@ type RunResult struct {
 	// Recovery snapshots the self-healing layer's counters (TeraHeap runs
 	// with recovery installed only).
 	Recovery *recovery.Stats
+
+	// Placement snapshots the placement policy's counters (runs with a
+	// non-default policy only — NG2C and Deca).
+	Placement *placement.Stats
 
 	// Serve carries the request-plane report for serve-mode runs (nil for
 	// batch runs).
@@ -349,55 +341,38 @@ func RunSpark(cfg SparkRun) RunResult {
 		GCWorkers:      rctx.GCWorkers,
 		WritebackDepth: rctx.WritebackDepth,
 	}
+	sspec.Kind = cfg.Runtime
 	mode := spark.ModeSD
-	name := ""
 	switch cfg.Runtime {
-	case RuntimePS:
-		sspec.Kind = rt.KindPS
+	case rt.KindPS, rt.KindG1:
 		sspec.H1Size = GB(heapGB)
 		mode = spark.ModeSD
-		name = fmt.Sprintf("%s/spark-sd/%.0fGB", spec.name, cfg.DramGB)
-	case RuntimeG1:
-		sspec.Kind = rt.KindG1
-		sspec.H1Size = GB(heapGB)
-		mode = spark.ModeSD
-		name = fmt.Sprintf("%s/g1/%.0fGB", spec.name, cfg.DramGB)
-	case RuntimeG1TH:
+	case rt.KindTH, rt.KindG1TH, rt.KindNG2C, rt.KindDeca:
 		h1, thCfg := sparkTHSizing(spec, cfg, heapGB).Resolve()
 		if cfg.THConfig != nil {
 			cfg.THConfig(&thCfg)
 		}
-		sspec.Kind = rt.KindG1TH
 		sspec.H1Size = h1
 		sspec.TH = &thCfg
 		mode = spark.ModeTH
-		name = fmt.Sprintf("%s/g1+th/%.0fGB", spec.name, cfg.DramGB)
-	case RuntimeMO:
+	case rt.KindMO:
 		// Spark-MO: heap sized to fit everything, NVM memory mode with
 		// DRAM as hardware cache.
-		sspec.Kind = rt.KindMO
 		sspec.H1Size = GB(spec.datasetGB*cfg.DatasetScale*3.2 + 16)
 		sspec.DRAMCacheBytes = GB(cfg.DramGB - 2)
 		mode = spark.ModeMO
-		name = fmt.Sprintf("%s/spark-mo/%.0fGB", spec.name, cfg.DramGB)
-	case RuntimePanthera:
+	case rt.KindPanthera:
 		// 25% DRAM / 75% NVM heap split (§7.5).
-		sspec.Kind = rt.KindPanthera
 		sspec.H1Size = GB(64)
 		sspec.DRAMOldBytes = GB(6)
 		mode = spark.ModeMO
-		name = fmt.Sprintf("%s/panthera/%.0fGB", spec.name, cfg.DramGB)
-	case RuntimeTH:
-		h1, thCfg := sparkTHSizing(spec, cfg, heapGB).Resolve()
-		if cfg.THConfig != nil {
-			cfg.THConfig(&thCfg)
-		}
-		sspec.Kind = rt.KindTH
-		sspec.H1Size = h1
-		sspec.TH = &thCfg
-		mode = spark.ModeTH
-		name = fmt.Sprintf("%s/th/%.0fGB", spec.name, cfg.DramGB)
+	default:
+		panic(fmt.Sprintf("experiments: unknown runtime kind %v (valid: %s)",
+			cfg.Runtime, strings.Join(rt.KindNames(), " ")))
 	}
+	// Row labels come from the kind registry (the six legacy labels are
+	// byte-identical to the hand-written ones they replace).
+	name := fmt.Sprintf("%s/%s/%.0fGB", spec.name, cfg.Runtime.SparkLabel(), cfg.DramGB)
 	ses := rt.NewSession(sspec)
 	runtime, th, dev := ses.Runtime, ses.TH, ses.Device
 	clock := ses.Clock
@@ -430,6 +405,7 @@ func RunSpark(cfg SparkRun) RunResult {
 	}
 	res.FaultStats = ses.Injector.Stats()
 	res.Recovery = ses.RecoveryStats()
+	res.Placement = ses.PlacementStats()
 	if err != nil {
 		var oom *gc.OOMError
 		var flt *gc.FaultError

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/carv-repro/teraheap-go/internal/fault"
+	"github.com/carv-repro/teraheap-go/internal/rt"
 )
 
 // bleedTestPlan injects at rates high enough that a short TeraHeap run is
@@ -32,7 +33,7 @@ func TestRunContextNoBleed(t *testing.T) {
 
 	ctx := &RunContext{Verify: true, FaultPlan: bleedTestPlan(t)}
 	mk := func(c *RunContext) Spec {
-		return SparkSpec(SparkRun{Workload: "PR", Runtime: RuntimeTH, DramGB: 80,
+		return SparkSpec(SparkRun{Workload: "PR", Runtime: rt.KindTH, DramGB: 80,
 			DatasetScale: 0.05, Ctx: c})
 	}
 	// Interleave scoped and default-context runs so the pool runs both

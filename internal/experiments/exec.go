@@ -37,7 +37,7 @@ func (s Spec) run() RunResult {
 func (s Spec) label(i int) string {
 	switch {
 	case s.Spark != nil:
-		return fmt.Sprintf("%s/%.0fGB", s.Spark.Workload, s.Spark.DramGB)
+		return fmt.Sprintf("%s/%s/%.0fGB", s.Spark.Workload, s.Spark.Runtime.SparkLabel(), s.Spark.DramGB)
 	case s.Giraph != nil:
 		return fmt.Sprintf("%s/%.0fGB", s.Giraph.Workload, s.Giraph.DramGB)
 	}

@@ -6,6 +6,7 @@ import (
 	"github.com/carv-repro/teraheap-go/internal/core"
 	"github.com/carv-repro/teraheap-go/internal/experiments"
 	"github.com/carv-repro/teraheap-go/internal/giraph"
+	"github.com/carv-repro/teraheap-go/internal/rt"
 	"github.com/carv-repro/teraheap-go/internal/simclock"
 	"github.com/carv-repro/teraheap-go/internal/storage"
 )
@@ -19,8 +20,8 @@ func TestSparkTHBeatsSDAtEqualDRAM(t *testing.T) {
 	for _, w := range []string{"PR", "SSSP", "LR", "SVM"} {
 		spec := experiments.SparkWorkloads()
 		_ = spec
-		sd := experiments.RunSpark(experiments.SparkRun{Workload: w, Runtime: experiments.RuntimePS, DramGB: dramFor(w)})
-		th := experiments.RunSpark(experiments.SparkRun{Workload: w, Runtime: experiments.RuntimeTH, DramGB: dramFor(w)})
+		sd := experiments.RunSpark(experiments.SparkRun{Workload: w, Runtime: rt.KindPS, DramGB: dramFor(w)})
+		th := experiments.RunSpark(experiments.SparkRun{Workload: w, Runtime: rt.KindTH, DramGB: dramFor(w)})
 		if sd.OOM || th.OOM {
 			t.Fatalf("%s: unexpected OOM (sd=%v th=%v)", w, sd.OOM, th.OOM)
 		}
@@ -57,11 +58,11 @@ func dramFor(w string) float64 {
 func TestSparkSDOOMsAtLowDRAMWhereTHRuns(t *testing.T) {
 	// Fig 6: the low-DRAM Spark-SD bars are missing (OOM) while TeraHeap
 	// runs at the same or lower DRAM.
-	sd := experiments.RunSpark(experiments.SparkRun{Workload: "LR", Runtime: experiments.RuntimePS, DramGB: 43})
+	sd := experiments.RunSpark(experiments.SparkRun{Workload: "LR", Runtime: rt.KindPS, DramGB: 43})
 	if !sd.OOM {
 		t.Error("Spark-SD LR at 43GB should OOM")
 	}
-	th := experiments.RunSpark(experiments.SparkRun{Workload: "LR", Runtime: experiments.RuntimeTH, DramGB: 43})
+	th := experiments.RunSpark(experiments.SparkRun{Workload: "LR", Runtime: rt.KindTH, DramGB: 43})
 	if th.OOM {
 		t.Error("TeraHeap LR at 43GB should run")
 	}
@@ -88,9 +89,9 @@ func maxInt(a, b int) int {
 }
 
 func TestFig8G1BeatsPSAndTHBeatsG1(t *testing.T) {
-	ps := experiments.RunSpark(experiments.SparkRun{Workload: "LR", Runtime: experiments.RuntimePS, DramGB: 70})
-	g1r := experiments.RunSpark(experiments.SparkRun{Workload: "LR", Runtime: experiments.RuntimeG1, DramGB: 70})
-	th := experiments.RunSpark(experiments.SparkRun{Workload: "LR", Runtime: experiments.RuntimeTH, DramGB: 70})
+	ps := experiments.RunSpark(experiments.SparkRun{Workload: "LR", Runtime: rt.KindPS, DramGB: 70})
+	g1r := experiments.RunSpark(experiments.SparkRun{Workload: "LR", Runtime: rt.KindG1, DramGB: 70})
+	th := experiments.RunSpark(experiments.SparkRun{Workload: "LR", Runtime: rt.KindTH, DramGB: 70})
 	if g1r.B.Total() >= ps.B.Total() {
 		t.Errorf("G1 (%v) not faster than PS (%v)", g1r.B.Total(), ps.B.Total())
 	}
@@ -156,9 +157,9 @@ func giraphDram(w string) float64 {
 
 func TestFig12PantheraLosesToTH(t *testing.T) {
 	scale := 30.0 / 80.0
-	p := experiments.RunSpark(experiments.SparkRun{Workload: "PR", Runtime: experiments.RuntimePanthera,
+	p := experiments.RunSpark(experiments.SparkRun{Workload: "PR", Runtime: rt.KindPanthera,
 		DramGB: 16, Device: storage.NVM, DatasetScale: scale})
-	th := experiments.RunSpark(experiments.SparkRun{Workload: "PR", Runtime: experiments.RuntimeTH,
+	th := experiments.RunSpark(experiments.SparkRun{Workload: "PR", Runtime: rt.KindTH,
 		DramGB: 32, Device: storage.NVM, DatasetScale: scale})
 	if p.OOM || th.OOM {
 		t.Fatal("unexpected OOM")
@@ -169,16 +170,16 @@ func TestFig12PantheraLosesToTH(t *testing.T) {
 }
 
 func TestFig13THScalesWithThreads(t *testing.T) {
-	t8 := experiments.RunSpark(experiments.SparkRun{Workload: "CC", Runtime: experiments.RuntimeTH, DramGB: 84, Threads: 8})
-	t16 := experiments.RunSpark(experiments.SparkRun{Workload: "CC", Runtime: experiments.RuntimeTH, DramGB: 84, Threads: 16})
+	t8 := experiments.RunSpark(experiments.SparkRun{Workload: "CC", Runtime: rt.KindTH, DramGB: 84, Threads: 8})
+	t16 := experiments.RunSpark(experiments.SparkRun{Workload: "CC", Runtime: rt.KindTH, DramGB: 84, Threads: 16})
 	if t16.B.Total() >= t8.B.Total() {
 		t.Errorf("16 threads (%v) not faster than 8 (%v)", t16.B.Total(), t8.B.Total())
 	}
 }
 
 func TestDeterminism(t *testing.T) {
-	a := experiments.RunSpark(experiments.SparkRun{Workload: "SSSP", Runtime: experiments.RuntimeTH, DramGB: 58})
-	b := experiments.RunSpark(experiments.SparkRun{Workload: "SSSP", Runtime: experiments.RuntimeTH, DramGB: 58})
+	a := experiments.RunSpark(experiments.SparkRun{Workload: "SSSP", Runtime: rt.KindTH, DramGB: 58})
+	b := experiments.RunSpark(experiments.SparkRun{Workload: "SSSP", Runtime: rt.KindTH, DramGB: 58})
 	if a.B != b.B {
 		t.Fatalf("same configuration produced different breakdowns:\n%v\n%v", a.B, b.B)
 	}
@@ -190,9 +191,9 @@ func TestDeterminism(t *testing.T) {
 func TestChecksumsMatchAcrossRuntimes(t *testing.T) {
 	// The same workload computes the same answer whichever runtime runs
 	// it — the memory system must not change results.
-	sd := experiments.RunSpark(experiments.SparkRun{Workload: "SSSP", Runtime: experiments.RuntimePS, DramGB: 100})
-	th := experiments.RunSpark(experiments.SparkRun{Workload: "SSSP", Runtime: experiments.RuntimeTH, DramGB: 58})
-	g1r := experiments.RunSpark(experiments.SparkRun{Workload: "SSSP", Runtime: experiments.RuntimeG1, DramGB: 100})
+	sd := experiments.RunSpark(experiments.SparkRun{Workload: "SSSP", Runtime: rt.KindPS, DramGB: 100})
+	th := experiments.RunSpark(experiments.SparkRun{Workload: "SSSP", Runtime: rt.KindTH, DramGB: 58})
+	g1r := experiments.RunSpark(experiments.SparkRun{Workload: "SSSP", Runtime: rt.KindG1, DramGB: 100})
 	if sd.Checksum != th.Checksum || sd.Checksum != g1r.Checksum {
 		t.Fatalf("checksum divergence: sd=%v th=%v g1=%v", sd.Checksum, th.Checksum, g1r.Checksum)
 	}

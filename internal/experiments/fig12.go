@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"github.com/carv-repro/teraheap-go/internal/metrics"
+	"github.com/carv-repro/teraheap-go/internal/rt"
 	"github.com/carv-repro/teraheap-go/internal/storage"
 )
 
@@ -15,8 +16,8 @@ func Fig12a() string {
 	for _, w := range workloads {
 		dram := sparkSpecs[w].thDramGB[len(sparkSpecs[w].thDramGB)-1]
 		specs = append(specs,
-			SparkSpec(SparkRun{Workload: w, Runtime: RuntimePS, DramGB: dram, Device: storage.NVM}),
-			SparkSpec(SparkRun{Workload: w, Runtime: RuntimeTH, DramGB: dram, Device: storage.NVM}))
+			SparkSpec(SparkRun{Workload: w, Runtime: rt.KindPS, DramGB: dram, Device: storage.NVM}),
+			SparkSpec(SparkRun{Workload: w, Runtime: rt.KindTH, DramGB: dram, Device: storage.NVM}))
 	}
 	runs := RunAll(specs)
 	var sb strings.Builder
@@ -39,8 +40,8 @@ func Fig12b() string {
 	for _, w := range workloads {
 		dram := sparkSpecs[w].thDramGB[len(sparkSpecs[w].thDramGB)-1]
 		specs = append(specs,
-			SparkSpec(SparkRun{Workload: w, Runtime: RuntimeMO, DramGB: dram, Device: storage.NVM}),
-			SparkSpec(SparkRun{Workload: w, Runtime: RuntimeTH, DramGB: dram, Device: storage.NVM}))
+			SparkSpec(SparkRun{Workload: w, Runtime: rt.KindMO, DramGB: dram, Device: storage.NVM}),
+			SparkSpec(SparkRun{Workload: w, Runtime: rt.KindTH, DramGB: dram, Device: storage.NVM}))
 	}
 	runs := RunAll(specs)
 	var sb strings.Builder
@@ -70,8 +71,8 @@ func Fig12c() string {
 			scale = 1
 		}
 		specs = append(specs,
-			SparkSpec(SparkRun{Workload: w, Runtime: RuntimePanthera, DramGB: 16, Device: storage.NVM, DatasetScale: scale}),
-			SparkSpec(SparkRun{Workload: w, Runtime: RuntimeTH, DramGB: 32, Device: storage.NVM, DatasetScale: scale}))
+			SparkSpec(SparkRun{Workload: w, Runtime: rt.KindPanthera, DramGB: 16, Device: storage.NVM, DatasetScale: scale}),
+			SparkSpec(SparkRun{Workload: w, Runtime: rt.KindTH, DramGB: 32, Device: storage.NVM, DatasetScale: scale}))
 	}
 	runs := RunAll(specs)
 	var sb strings.Builder

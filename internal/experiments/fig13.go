@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"github.com/carv-repro/teraheap-go/internal/giraph"
+	"github.com/carv-repro/teraheap-go/internal/rt"
 )
 
 // Fig13a measures scaling with 4, 8, and 16 mutator threads for Spark CC
@@ -20,16 +21,16 @@ func Fig13a() string {
 		spec func(threads int) Spec
 	}{
 		{"Spark-CC/SD", func(t int) Spec {
-			return SparkSpec(SparkRun{Workload: "CC", Runtime: RuntimePS, DramGB: ccDram, Threads: t})
+			return SparkSpec(SparkRun{Workload: "CC", Runtime: rt.KindPS, DramGB: ccDram, Threads: t})
 		}},
 		{"Spark-CC/TH", func(t int) Spec {
-			return SparkSpec(SparkRun{Workload: "CC", Runtime: RuntimeTH, DramGB: ccDram, Threads: t})
+			return SparkSpec(SparkRun{Workload: "CC", Runtime: rt.KindTH, DramGB: ccDram, Threads: t})
 		}},
 		{"Spark-LR/SD", func(t int) Spec {
-			return SparkSpec(SparkRun{Workload: "LR", Runtime: RuntimePS, DramGB: lrDram, Threads: t})
+			return SparkSpec(SparkRun{Workload: "LR", Runtime: rt.KindPS, DramGB: lrDram, Threads: t})
 		}},
 		{"Spark-LR/TH", func(t int) Spec {
-			return SparkSpec(SparkRun{Workload: "LR", Runtime: RuntimeTH, DramGB: lrDram, Threads: t})
+			return SparkSpec(SparkRun{Workload: "LR", Runtime: rt.KindTH, DramGB: lrDram, Threads: t})
 		}},
 		{"Giraph-CDLP/OOC", func(t int) Spec {
 			return GiraphSpec(GiraphRun{Workload: "CDLP", Mode: giraph.ModeOOC, DramGB: cdlpDram, Threads: t})
@@ -88,8 +89,8 @@ func Fig13b() string {
 				scale := scaleTo / spec.datasetGB
 				dram := spec.thDramGB[len(spec.thDramGB)-1] * scale
 				specs = append(specs,
-					SparkSpec(SparkRun{Workload: c.w, Runtime: RuntimePS, DramGB: dram, DatasetScale: scale}),
-					SparkSpec(SparkRun{Workload: c.w, Runtime: RuntimeTH, DramGB: dram, DatasetScale: scale}))
+					SparkSpec(SparkRun{Workload: c.w, Runtime: rt.KindPS, DramGB: dram, DatasetScale: scale}),
+					SparkSpec(SparkRun{Workload: c.w, Runtime: rt.KindTH, DramGB: dram, DatasetScale: scale}))
 			} else {
 				spec := giraphSpecs[c.w]
 				scale := scaleTo / spec.datasetGB

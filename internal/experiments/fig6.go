@@ -6,6 +6,7 @@ import (
 
 	"github.com/carv-repro/teraheap-go/internal/giraph"
 	"github.com/carv-repro/teraheap-go/internal/metrics"
+	"github.com/carv-repro/teraheap-go/internal/rt"
 )
 
 // Fig6SparkResult holds one workload's bars.
@@ -24,10 +25,10 @@ func Fig6SparkSpecs(workload string) []Spec {
 	}
 	var specs []Spec
 	for _, d := range spec.sdDramGB {
-		specs = append(specs, SparkSpec(SparkRun{Workload: workload, Runtime: RuntimePS, DramGB: d}))
+		specs = append(specs, SparkSpec(SparkRun{Workload: workload, Runtime: rt.KindPS, DramGB: d}))
 	}
 	for _, d := range spec.thDramGB {
-		specs = append(specs, SparkSpec(SparkRun{Workload: workload, Runtime: RuntimeTH, DramGB: d}))
+		specs = append(specs, SparkSpec(SparkRun{Workload: workload, Runtime: rt.KindTH, DramGB: d}))
 	}
 	return specs
 }

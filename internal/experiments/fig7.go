@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"github.com/carv-repro/teraheap-go/internal/gc"
+	"github.com/carv-repro/teraheap-go/internal/rt"
 )
 
 // Fig7Result captures the GC timelines of Spark PR for Spark-SD and
@@ -20,8 +21,8 @@ type Fig7Result struct {
 // (64 GB heap).
 func Fig7() Fig7Result {
 	runs := RunAll([]Spec{
-		SparkSpec(SparkRun{Workload: "PR", Runtime: RuntimePS, DramGB: 80}),
-		SparkSpec(SparkRun{Workload: "PR", Runtime: RuntimeTH, DramGB: 80}),
+		SparkSpec(SparkRun{Workload: "PR", Runtime: rt.KindPS, DramGB: 80}),
+		SparkSpec(SparkRun{Workload: "PR", Runtime: rt.KindTH, DramGB: 80}),
 	})
 	return Fig7Result{SD: runs[0], TH: runs[1]}
 }

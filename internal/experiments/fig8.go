@@ -4,6 +4,7 @@ import (
 	"strings"
 
 	"github.com/carv-repro/teraheap-go/internal/metrics"
+	"github.com/carv-repro/teraheap-go/internal/rt"
 )
 
 // Fig8 compares PS, G1, and TeraHeap on every Spark workload at equal
@@ -14,7 +15,7 @@ func Fig8() string {
 	var specs []Spec
 	for _, w := range workloads {
 		dram := sparkSpecs[w].thDramGB[len(sparkSpecs[w].thDramGB)-1]
-		for _, rk := range []RuntimeKind{RuntimePS, RuntimeG1, RuntimeTH} {
+		for _, rk := range []rt.Kind{rt.KindPS, rt.KindG1, rt.KindTH} {
 			specs = append(specs, SparkSpec(SparkRun{Workload: w, Runtime: rk, DramGB: dram}))
 		}
 	}

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"github.com/carv-repro/teraheap-go/internal/giraph"
+	"github.com/carv-repro/teraheap-go/internal/rt"
 	"github.com/carv-repro/teraheap-go/internal/runner"
 )
 
@@ -55,8 +56,8 @@ func TestG1MixedGCDeterminism(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full workload runs in -short mode")
 	}
-	a := RunSpark(SparkRun{Workload: "RL", Runtime: RuntimeG1, DramGB: 63})
-	b := RunSpark(SparkRun{Workload: "RL", Runtime: RuntimeG1, DramGB: 63})
+	a := RunSpark(SparkRun{Workload: "RL", Runtime: rt.KindG1, DramGB: 63})
+	b := RunSpark(SparkRun{Workload: "RL", Runtime: rt.KindG1, DramGB: 63})
 	if !reflect.DeepEqual(a, b) {
 		t.Errorf("repeated RL/G1 runs differ: total %v vs %v, checksum %v vs %v",
 			a.B.Total(), b.B.Total(), a.Checksum, b.Checksum)
@@ -67,8 +68,8 @@ func TestG1MixedGCDeterminism(t *testing.T) {
 // regardless of worker count.
 func TestRunAllWorkersOrder(t *testing.T) {
 	specs := []Spec{
-		SparkSpec(SparkRun{Workload: "TR", Runtime: RuntimeTH, DramGB: 45}),
-		SparkSpec(SparkRun{Workload: "TR", Runtime: RuntimePS, DramGB: 45}),
+		SparkSpec(SparkRun{Workload: "TR", Runtime: rt.KindTH, DramGB: 45}),
+		SparkSpec(SparkRun{Workload: "TR", Runtime: rt.KindPS, DramGB: 45}),
 		GiraphSpec(GiraphRun{Workload: "BFS", Mode: giraph.ModeTH, DramGB: 74}),
 	}
 	serial := RunAllWorkers(specs, 1)

@@ -23,7 +23,7 @@ const DefaultServeDramGB = 56.0
 
 // ServeRun configures one serve-mode run.
 type ServeRun struct {
-	Kind   RuntimeKind
+	Kind   rt.Kind
 	DramGB float64 // 0 → DefaultServeDramGB
 	Cfg    server.Config
 	// Recovery overrides the self-healing policy (KindTH only; nil keeps
@@ -57,17 +57,11 @@ func RunServe(cfg ServeRun) RunResult {
 		WritebackDepth: rctx.WritebackDepth,
 		Recovery:       cfg.Recovery,
 	}
-	var kindName string
+	sspec.Kind = cfg.Kind
 	switch cfg.Kind {
-	case RuntimePS:
-		sspec.Kind = rt.KindPS
+	case rt.KindPS, rt.KindG1:
 		sspec.H1Size = GB(heapGB)
-		kindName = "ps"
-	case RuntimeG1:
-		sspec.Kind = rt.KindG1
-		sspec.H1Size = GB(heapGB)
-		kindName = "g1"
-	case RuntimeTH, RuntimeG1TH:
+	case rt.KindTH, rt.KindG1TH, rt.KindNG2C, rt.KindDeca:
 		h1, thCfg := rt.THSizing{
 			BudgetGB:    heapGB,
 			H1Frac:      0.8,
@@ -78,25 +72,19 @@ func RunServe(cfg ServeRun) RunResult {
 		}.Resolve()
 		sspec.H1Size = h1
 		sspec.TH = &thCfg
-		if cfg.Kind == RuntimeTH {
-			sspec.Kind = rt.KindTH
-			kindName = "th"
-		} else {
-			sspec.Kind = rt.KindG1TH
-			kindName = "g1+th"
-		}
-	case RuntimeMO:
+	case rt.KindMO:
 		sspec.Kind = rt.KindMO
 		sspec.H1Size = GB(storeGB*3.2 + 16)
 		sspec.DRAMCacheBytes = GB(cfg.DramGB - 2)
-		kindName = "mo"
-	case RuntimePanthera:
+	case rt.KindPanthera:
 		sspec.Kind = rt.KindPanthera
 		sspec.H1Size = GB(64)
 		sspec.DRAMOldBytes = GB(6)
-		kindName = "panthera"
+	default:
+		panic(fmt.Sprintf("experiments: unknown runtime kind %v (valid: %s)",
+			cfg.Kind, strings.Join(rt.KindNames(), " ")))
 	}
-	name := fmt.Sprintf("serve/%s/%.0fGB/r%gk", kindName, cfg.DramGB, cfg.Cfg.RatePerSec/1000)
+	name := fmt.Sprintf("serve/%s/%.0fGB/r%gk", cfg.Kind, cfg.DramGB, cfg.Cfg.RatePerSec/1000)
 
 	ses := rt.NewSession(sspec)
 	stats, err := server.Run(ses, cfg.Cfg)
@@ -142,9 +130,29 @@ func RunServe(cfg ServeRun) RunResult {
 // must shed.
 func DefaultServeRates() []float64 { return []float64{20000, 60000, 180000} }
 
-// serveKinds is the sweep's kind order (paper Table 2 order).
-func serveKinds() []RuntimeKind {
-	return []RuntimeKind{RuntimePS, RuntimeTH, RuntimeG1, RuntimeMO, RuntimePanthera, RuntimeG1TH}
+// serveKinds resolves the sweep's kind order from the config's kinds=
+// subset; empty means every registered kind, in registry order (which
+// begins with the paper Table 2 order). Unknown names panic — ParseConfig
+// already rejects them, so reaching one here is programmer error.
+func serveKinds(cfg server.Config) []rt.Kind {
+	if len(cfg.Kinds) == 0 {
+		infos := rt.Kinds()
+		out := make([]rt.Kind, len(infos))
+		for i, e := range infos {
+			out[i] = e.Kind
+		}
+		return out
+	}
+	out := make([]rt.Kind, 0, len(cfg.Kinds))
+	for _, n := range cfg.Kinds {
+		k, ok := rt.KindByName(n)
+		if !ok {
+			panic(fmt.Sprintf("experiments: unknown serve kind %q (valid: %s)",
+				n, strings.Join(rt.KindNames(), " ")))
+		}
+		out = append(out, k)
+	}
+	return out
 }
 
 // ServeResult is the serve figure: every runtime kind at every offered
@@ -164,8 +172,9 @@ func ServeSweep(base server.Config, rates []float64) ServeResult {
 	if len(rates) == 0 {
 		rates = DefaultServeRates()
 	}
+	kinds := serveKinds(base)
 	var specs []Spec
-	for _, k := range serveKinds() {
+	for _, k := range kinds {
 		for _, r := range rates {
 			cfg := base
 			cfg.RatePerSec = r
@@ -177,7 +186,7 @@ func ServeSweep(base server.Config, rates []float64) ServeResult {
 
 	res := ServeResult{Rates: append([]float64(nil), rates...), Results: runs}
 	i := 0
-	for range serveKinds() {
+	for range kinds {
 		for _, rate := range rates {
 			res.Rows = append(res.Rows, serveRow(runs[i], rate))
 			i++
@@ -274,9 +283,9 @@ func ChaosServe(plan *fault.Plan, base server.Config) ChaosServeResult {
 	hi := base
 	hi.RatePerSec = base.RatePerSec * 3
 	runs := []ServeRun{
-		{Kind: RuntimeTH, Cfg: base, Recovery: pol, Ctx: ctx},
-		{Kind: RuntimePS, Cfg: base, Ctx: ctx},
-		{Kind: RuntimeTH, Cfg: hi, Recovery: pol, Ctx: ctx},
+		{Kind: rt.KindTH, Cfg: base, Recovery: pol, Ctx: ctx},
+		{Kind: rt.KindPS, Cfg: base, Ctx: ctx},
+		{Kind: rt.KindTH, Cfg: hi, Recovery: pol, Ctx: ctx},
 	}
 	var specs []Spec
 	for _, r := range runs {

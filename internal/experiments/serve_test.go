@@ -22,7 +22,7 @@ func serveTestConfig() server.Config {
 // report carries the SLO columns the figure is about.
 func TestServeSweepCoversAllKinds(t *testing.T) {
 	res := ServeSweep(serveTestConfig(), nil)
-	wantRows := len(serveKinds()) * len(DefaultServeRates())
+	wantRows := len(serveKinds(serveTestConfig())) * len(DefaultServeRates())
 	if len(res.Rows) != wantRows {
 		t.Fatalf("got %d rows, want %d", len(res.Rows), wantRows)
 	}

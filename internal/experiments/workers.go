@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"github.com/carv-repro/teraheap-go/internal/metrics"
+	"github.com/carv-repro/teraheap-go/internal/rt"
 	"github.com/carv-repro/teraheap-go/internal/simclock"
 )
 
@@ -37,10 +38,10 @@ func WorkerScaling(counts []int) WorkerScalingResult {
 	}
 	configs := []struct {
 		label   string
-		runtime RuntimeKind
+		runtime rt.Kind
 	}{
-		{"spark-pr/sd/80GB", RuntimePS},
-		{"spark-pr/th/80GB", RuntimeTH},
+		{"spark-pr/sd/80GB", rt.KindPS},
+		{"spark-pr/th/80GB", rt.KindTH},
 	}
 
 	base := DefaultContext()

@@ -14,6 +14,7 @@ import (
 	"github.com/carv-repro/teraheap-go/internal/check"
 	"github.com/carv-repro/teraheap-go/internal/fault"
 	"github.com/carv-repro/teraheap-go/internal/heap"
+	"github.com/carv-repro/teraheap-go/internal/placement"
 	"github.com/carv-repro/teraheap-go/internal/simclock"
 	"github.com/carv-repro/teraheap-go/internal/vm"
 )
@@ -188,6 +189,12 @@ type Collector struct {
 	// hook, if any (the SetVerify shim toggles it).
 	hooks Hooks
 	vhook *verifyHook
+
+	// policy is the placement-policy seam consulted at every target-space
+	// decision (alloc-time pretenuring, scavenge-time promotion) and fed
+	// survival/misprediction feedback. placement.Default reproduces the
+	// legacy hardcoded behavior exactly.
+	policy placement.Policy
 }
 
 // New builds a collector over a DRAM-backed H1. th may be nil for a
@@ -216,6 +223,7 @@ func NewWithHeap(h1 *heap.H1, costs CostParams, as *vm.AddressSpace, classes *vm
 		Costs:          costs,
 		startArray:     make([]vm.Addr, h1.Cards.NumCards()),
 		barrierEnabled: !noTH,
+		policy:         placement.Default{},
 	}
 	c.scav.c = c
 	c.scavBackVisit = func(_ uint64, t vm.Addr) vm.Addr {
@@ -236,6 +244,18 @@ func NewWithHeap(h1 *heap.H1, costs CostParams, as *vm.AddressSpace, classes *vm
 // register here; the verifier and the session event counters are the stock
 // implementations.
 func (c *Collector) Hooks() *Hooks { return &c.hooks }
+
+// SetPlacementPolicy installs a placement policy; nil restores the
+// default (legacy) policy. Must be called before any allocation.
+func (c *Collector) SetPlacementPolicy(p placement.Policy) {
+	if p == nil {
+		p = placement.Default{}
+	}
+	c.policy = p
+}
+
+// PlacementPolicy returns the installed placement policy.
+func (c *Collector) PlacementPolicy() placement.Policy { return c.policy }
 
 // SetVerify enables or disables invariant verification around every GC: a
 // shim that registers (or removes) the verifier hook as the first entry of
@@ -374,7 +394,7 @@ func (c *Collector) Alloc(class *vm.Class) (vm.Addr, error) {
 	if class.Kind != vm.KindFixed {
 		return vm.NullAddr, &ClassKindError{Call: "Alloc", Class: class.Name}
 	}
-	return c.allocObject(class, class.NumRefs, class.InstanceWords())
+	return c.allocObject(class, class.NumRefs, class.InstanceWords(), false)
 }
 
 // AllocRefArray allocates a reference array of n elements.
@@ -382,7 +402,7 @@ func (c *Collector) AllocRefArray(class *vm.Class, n int) (vm.Addr, error) {
 	if class.Kind != vm.KindRefArray {
 		return vm.NullAddr, &ClassKindError{Call: "AllocRefArray", Class: class.Name}
 	}
-	return c.allocObject(class, n, vm.HeaderWords+n)
+	return c.allocObject(class, n, vm.HeaderWords+n, false)
 }
 
 // AllocPrimArray allocates a primitive array of n words.
@@ -390,15 +410,54 @@ func (c *Collector) AllocPrimArray(class *vm.Class, n int) (vm.Addr, error) {
 	if class.Kind != vm.KindPrimArray {
 		return vm.NullAddr, &ClassKindError{Call: "AllocPrimArray", Class: class.Name}
 	}
-	return c.allocObject(class, 0, vm.HeaderWords+n)
+	return c.allocObject(class, 0, vm.HeaderWords+n, false)
 }
 
-func (c *Collector) allocObject(class *vm.Class, numRefs, sizeWords int) (vm.Addr, error) {
+// AllocCold, AllocColdRefArray, and AllocColdPrimArray are the framework's
+// cold-allocation hint: identical to the plain variants, except the cold
+// bit reaches the placement policy's alloc-time decision.
+func (c *Collector) AllocCold(class *vm.Class) (vm.Addr, error) {
+	if class.Kind != vm.KindFixed {
+		return vm.NullAddr, &ClassKindError{Call: "Alloc", Class: class.Name}
+	}
+	return c.allocObject(class, class.NumRefs, class.InstanceWords(), true)
+}
+
+// AllocColdRefArray allocates a reference array flagged cold.
+func (c *Collector) AllocColdRefArray(class *vm.Class, n int) (vm.Addr, error) {
+	if class.Kind != vm.KindRefArray {
+		return vm.NullAddr, &ClassKindError{Call: "AllocRefArray", Class: class.Name}
+	}
+	return c.allocObject(class, n, vm.HeaderWords+n, true)
+}
+
+// AllocColdPrimArray allocates a primitive array flagged cold.
+func (c *Collector) AllocColdPrimArray(class *vm.Class, n int) (vm.Addr, error) {
+	if class.Kind != vm.KindPrimArray {
+		return vm.NullAddr, &ClassKindError{Call: "AllocPrimArray", Class: class.Name}
+	}
+	return c.allocObject(class, 0, vm.HeaderWords+n, true)
+}
+
+func (c *Collector) allocObject(class *vm.Class, numRefs, sizeWords int, cold bool) (vm.Addr, error) {
 	if c.oom != nil {
 		return vm.NullAddr, c.oom
 	}
 	if flt := c.pollFault(); flt != nil {
 		return vm.NullAddr, flt
+	}
+	if c.policy.AllocTarget(placement.Site(class.ID), sizeWords, cold) == placement.AllocOld {
+		// Policy-directed pretenuring: place straight in the old
+		// generation when it has room; otherwise fall through to the
+		// legacy eden path rather than forcing a full collection.
+		if a, ok := c.allocOld(sizeWords); ok {
+			c.Mem.InitObject(a, class, numRefs, sizeWords)
+			c.Mem.SetStatus(a, c.Mem.Status(a)|vm.FlagPretenured)
+			c.stats.BytesAllocated += int64(sizeWords) * vm.WordSize
+			c.stats.ObjectsAllocated++
+			c.policy.NotePretenured(placement.Site(class.ID))
+			return a, nil
+		}
 	}
 	a, err := c.allocWords(sizeWords)
 	if err != nil {

@@ -313,8 +313,15 @@ func (c *Collector) majorPrecompact(mk *markState, cy *Cycle) (*forwarding, erro
 		})
 	}
 	c.H1.Old.Walk(m, func(a vm.Addr) {
-		if m.Marked(a) {
+		// One status load either way (Marked would do the same load); the
+		// dead branch hands the word to the placement policy so
+		// pretenuring mispredictions (dead policy-placed objects) are
+		// counted. A no-op under the default policy.
+		st := m.Status(a)
+		if st&vm.FlagMark != 0 {
 			oldLive = append(oldLive, a)
+		} else {
+			c.policy.NoteDeadOld(st)
 		}
 	})
 	c.preYoung = youngLive[:0]
@@ -485,7 +492,7 @@ func (c *Collector) majorCompact(fw *forwarding, cy *Cycle) {
 			for w := 0; w < size; w++ {
 				image[w] = m.AS.Load(src + vm.Addr(w*vm.WordSize))
 			}
-			image[0] &^= vm.FlagMark | vm.FlagClosure
+			image[0] &^= vm.FlagMark | vm.FlagClosure | vm.FlagPretenured
 			c.TH.CommitMove(dst, image) // copies image; safe to reuse
 			c.imageBuf = image
 			cy.BytesMovedToH2 += int64(size) * vm.WordSize

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"github.com/carv-repro/teraheap-go/internal/heap"
+	"github.com/carv-repro/teraheap-go/internal/placement"
 	"github.com/carv-repro/teraheap-go/internal/simclock"
 	"github.com/carv-repro/teraheap-go/internal/vm"
 )
@@ -181,10 +182,13 @@ func (s *scavenger) copyYoung(a vm.Addr) vm.Addr {
 	}
 
 	age := m.Age(a) + 1
+	site := placement.SiteFromStatus(status)
 	var dst vm.Addr
 	var ok bool
 	promoted := false
-	if age >= c.H1.Cfg.TenureAge {
+	legacyTenure := age >= c.H1.Cfg.TenureAge
+	polTenure := c.policy.Promote(site, age, c.H1.Cfg.TenureAge)
+	if polTenure {
 		dst, ok = c.allocOld(size)
 		promoted = ok
 	}
@@ -203,6 +207,15 @@ func (s *scavenger) copyYoung(a vm.Addr) vm.Addr {
 	}
 	m.CopyObject(dst, a, size)
 	m.SetAge(dst, age)
+	if promoted && polTenure && !legacyTenure {
+		// Survivor-free promotion forced by the placement policy (the age
+		// threshold alone would have kept the object young): tag it so a
+		// later death in the old generation is attributed to the
+		// pretenuring decision. Never reached under the default policy,
+		// where polTenure equals legacyTenure — in particular a survivor-
+		// overflow promotion must not be tagged.
+		m.SetStatus(dst, m.Status(dst)|vm.FlagPretenured)
+	}
 	m.SetForwardee(a, dst)
 	if promoted {
 		s.bytesPromoted += int64(size) * vm.WordSize
@@ -211,6 +224,7 @@ func (s *scavenger) copyYoung(a vm.Addr) vm.Addr {
 	}
 	c.gangCharge(time.Duration(int64(size)*vm.WordSize) * c.Costs.CopyPerByte)
 	s.worklist = append(s.worklist, dst)
+	c.policy.NoteScavenge(site, age, promoted)
 	return dst
 }
 
@@ -283,8 +297,10 @@ func (s *scavenger) commitH2Move(mv pendingH2Move) {
 	}
 	// Clear mark AND closure bits, matching majorCompact: a young object
 	// selected into a closure by a prior major mark and then
-	// direct-promoted must not carry a stale closure bit into H2.
-	image[0] = mv.status &^ (vm.FlagMark | vm.FlagClosure)
+	// direct-promoted must not carry a stale closure bit into H2. The
+	// pretenured bit is stripped too — placement attribution ends once
+	// the object reaches H2.
+	image[0] = mv.status &^ (vm.FlagMark | vm.FlagClosure | vm.FlagPretenured)
 	image[1] = shape
 	image[2] = label
 	for i := 0; i < numRefs; i++ {

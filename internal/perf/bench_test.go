@@ -32,6 +32,7 @@ func TestMicroAllocPins(t *testing.T) {
 		"rootset_create_release":     1, // the Handle object itself
 		"minor_gc_scavenge":          0,
 		"minor_gc_scavenge_gang4":    0,
+		"minor_gc_scavenge_ng2c":     0,
 		"card_table_scan":            0,
 		"writeback_submit_drain":     0,
 	}
@@ -59,7 +60,7 @@ func TestMicrosHaveUniqueStableNames(t *testing.T) {
 		}
 		seen[m.Name] = true
 	}
-	if want := 8; len(seen) != want {
+	if want := 9; len(seen) != want {
 		t.Fatalf("expected %d micros, got %d", want, len(seen))
 	}
 }

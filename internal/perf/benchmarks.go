@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/carv-repro/teraheap-go/internal/core"
+	"github.com/carv-repro/teraheap-go/internal/placement"
 	"github.com/carv-repro/teraheap-go/internal/rt"
 	"github.com/carv-repro/teraheap-go/internal/simclock"
 	"github.com/carv-repro/teraheap-go/internal/storage"
@@ -30,6 +31,7 @@ func Micros() []Micro {
 		{Name: "rootset_create_release", Setup: setupRootSet},
 		{Name: "minor_gc_scavenge", Setup: setupScavenge},
 		{Name: "minor_gc_scavenge_gang4", Setup: setupScavengeGang4},
+		{Name: "minor_gc_scavenge_ng2c", Setup: setupScavengeNG2C},
 		{Name: "card_table_scan", Setup: setupCardScan},
 		{Name: "writeback_submit_drain", Setup: setupWriteback},
 	}
@@ -173,6 +175,45 @@ func setupScavengeGang4() func() {
 	col := j.Collector()
 	col.SetVerify(false)
 	col.Costs.Workers = 4
+	op := func() {
+		for i := 0; i < 32; i++ {
+			if _, err := j.Alloc(node); err != nil {
+				panic(err)
+			}
+		}
+		if err := col.MinorGC(); err != nil {
+			panic(err)
+		}
+		col.Stats().ResetCycles()
+	}
+	for i := 0; i < 32; i++ {
+		op()
+	}
+	return op
+}
+
+// setupScavengeNG2C: the scavenge scenario with the NG2C profiling policy
+// installed, so every measured minor GC runs the full placement decision
+// path (AllocTarget on each allocation, Promote and NoteScavenge on each
+// surviving object). The delta against minor_gc_scavenge prices the
+// policy seam; steady state must stay 0 allocs/op — the profiler's site
+// slab is grown during warm-up and never reallocated after.
+func setupScavengeNG2C() func() {
+	clock := simclock.New()
+	j := rt.NewJVM(rt.Options{H1Size: 8 * storage.MB}, nil, clock)
+	j.SetPlacementPolicy(placement.NewNG2C(placement.DefaultNG2CConfig()))
+	node := j.Classes().MustFixed("Node", 1, 1)
+	h := j.NewHandle(vm.NullAddr)
+	for i := 0; i < 64; i++ {
+		a, err := j.Alloc(node)
+		if err != nil {
+			panic(err)
+		}
+		j.WriteRef(a, 0, h.Addr())
+		h.Set(a)
+	}
+	col := j.Collector()
+	col.SetVerify(false)
 	op := func() {
 		for i := 0; i < 32; i++ {
 			if _, err := j.Alloc(node); err != nil {

@@ -1,0 +1,115 @@
+package placement
+
+// decaDenseLabelLimit bounds the dense seen-label table; labels beyond it
+// (rare: labels are small framework-assigned epoch/RDD ids) fall back to
+// a map.
+const decaDenseLabelLimit = 1 << 20
+
+// Deca is the lifetime-based region-placement policy ("Lifetime-Based
+// Memory Management for Distributed Data Processing Systems", VLDB'16):
+// every labelled object belongs to a data-path epoch (the label — an
+// RDD/dataset id), and epochs live in bump-pointer H2 regions that are
+// released wholesale when the epoch's data is dropped. The policy places
+// labelled objects into their epoch's region eagerly — at the first
+// scavenge for young objects, and unconditionally for label closures at
+// major GC — instead of waiting for move hints or H1-pressure
+// thresholds. Unclassified (unlabelled) objects keep plain PS semantics.
+//
+// The mechanism reuses TeraHeap's per-label region groups as the
+// lifetime regions: H2 region allocation is bump-pointer and dead label
+// groups are reclaimed wholesale, which is exactly Deca's epoch release.
+type Deca struct {
+	seenDense []bool
+	seenBig   map[uint64]struct{}
+	epochs    int // distinct labels placed eagerly
+
+	minorMoves    int64
+	majorClosures int64
+}
+
+// NewDeca builds the policy.
+func NewDeca() *Deca {
+	return &Deca{seenDense: make([]bool, 1024)}
+}
+
+// noteLabel records a distinct epoch label; steady-state calls for known
+// labels touch only the dense table.
+func (p *Deca) noteLabel(label uint64) {
+	if label < decaDenseLabelLimit {
+		i := int(label)
+		if i >= len(p.seenDense) {
+			n := len(p.seenDense)
+			for n <= i {
+				n *= 2
+			}
+			grown := make([]bool, n)
+			copy(grown, p.seenDense)
+			p.seenDense = grown
+		}
+		if !p.seenDense[i] {
+			p.seenDense[i] = true
+			p.epochs++
+		}
+		return
+	}
+	if p.seenBig == nil {
+		p.seenBig = make(map[uint64]struct{})
+	}
+	if _, ok := p.seenBig[label]; !ok {
+		p.seenBig[label] = struct{}{}
+		p.epochs++
+	}
+}
+
+// Name implements Policy.
+func (p *Deca) Name() string { return "deca" }
+
+// AllocTarget implements Policy: H1 allocation is plain PS (lifetime
+// classification happens via labels, which attach after allocation).
+func (p *Deca) AllocTarget(Site, int, bool) AllocDecision { return AllocDefault }
+
+// Promote implements Policy (legacy age threshold for the PS fallback).
+func (p *Deca) Promote(_ Site, age, tenureAge int) bool { return age >= tenureAge }
+
+// MoveToH2OnMinor implements Policy: every labelled young object moves
+// to its epoch's lifetime region at the first scavenge, hint or not.
+func (p *Deca) MoveToH2OnMinor(label uint64, advised bool) bool {
+	if label == 0 {
+		return advised
+	}
+	p.noteLabel(label)
+	p.minorMoves++
+	return true
+}
+
+// MoveClosureAtMajor implements Policy: label closures always move to
+// their epoch regions — Deca has no threshold gating.
+func (p *Deca) MoveClosureAtMajor(label uint64, legacy bool) bool {
+	if label == 0 {
+		return legacy
+	}
+	p.noteLabel(label)
+	if !legacy {
+		p.majorClosures++
+	}
+	return true
+}
+
+// NoteScavenge implements Policy (no-op: no site profiling).
+func (p *Deca) NoteScavenge(Site, int, bool) {}
+
+// NoteDeadOld implements Policy (no-op).
+func (p *Deca) NoteDeadOld(uint64) {}
+
+// NotePretenured implements Policy (no-op: Deca never pretenures).
+func (p *Deca) NotePretenured(Site) {}
+
+// Stats implements Policy.
+func (p *Deca) Stats() Stats {
+	return Stats{
+		Policy:             "deca",
+		EagerLabels:        p.epochs,
+		EagerMinorMoves:    p.minorMoves,
+		EagerMajorClosures: p.majorClosures,
+	}
+}

@@ -1,0 +1,141 @@
+// Package placement centralizes every "where does this object go"
+// decision the runtimes make: eden vs old generation at allocation time,
+// promotion at scavenge time, and young->H2 / closure->H2 movement for
+// TeraHeap-backed kinds. The collectors (gc.Collector, the G1 young
+// collector) and core.TeraHeap consult a single Policy at each decision
+// point; Default reproduces the legacy hardcoded behavior exactly, so a
+// run with the default policy is byte-identical to one predating the
+// seam. New runtime kinds (NG2C pretenuring, Deca lifetime regions) are
+// one policy implementation each — no collector changes required.
+package placement
+
+import "github.com/carv-repro/teraheap-go/internal/vm"
+
+// Site identifies an allocation site. Sites are class IDs: the simulated
+// frameworks allocate each logical site through a distinct vm.Class, and
+// class IDs are assigned in registration order, so site numbering is
+// deterministic across processes for the same workload.
+type Site uint32
+
+// siteMask bounds site indices to the class-ID range; it keeps dense
+// per-site tables small and makes degenerate inputs (fuzzed site values)
+// safe by construction.
+const siteMask = vm.ClassMask
+
+// SiteFromStatus extracts the allocation site from a raw object status
+// word (the class-ID bits, already loaded on every GC copy path).
+func SiteFromStatus(status uint64) Site { return Site(status & vm.ClassMask) }
+
+// AllocDecision is a policy's answer for where a new object should be
+// placed at allocation time.
+type AllocDecision uint8
+
+const (
+	// AllocDefault leaves the target space to the collector's legacy
+	// logic (eden, or the old generation for pretenuring runtimes like
+	// Panthera that request it out-of-band).
+	AllocDefault AllocDecision = iota
+	// AllocOld asks the collector to place the object directly in the
+	// old generation. The collector falls back to the legacy path if old
+	// space cannot take the object without a full collection.
+	AllocOld
+)
+
+// Policy is the placement-decision seam. Decision methods are called on
+// GC and allocation hot paths: implementations must be deterministic
+// (state driven only by the call stream), must never panic on degenerate
+// inputs, and must not allocate in steady state.
+type Policy interface {
+	// Name is the policy's diagnostic name.
+	Name() string
+
+	// AllocTarget decides the target space for a new object of
+	// sizeWords words allocated at site. cold marks AllocCold* calls
+	// (the framework's cold-allocation hint).
+	AllocTarget(site Site, sizeWords int, cold bool) AllocDecision
+
+	// Promote decides, during a scavenge, whether the surviving object
+	// (now at the given age) should be tenured into the old generation.
+	// tenureAge is the collector's configured threshold; the default
+	// policy returns age >= tenureAge.
+	Promote(site Site, age, tenureAge int) bool
+
+	// MoveToH2OnMinor decides whether a labelled young object moves
+	// directly to H2 during a scavenge. advised is the legacy decision
+	// (move-hint issued for the label and hints enabled).
+	MoveToH2OnMinor(label uint64, advised bool) bool
+
+	// MoveClosureAtMajor decides whether a label's transitive closure
+	// moves to H2 at major GC. legacy is the hardcoded decision
+	// (advised, or forced under H1 pressure thresholds).
+	MoveClosureAtMajor(label uint64, legacy bool) bool
+
+	// NoteScavenge feeds per-site survival feedback after each scavenge
+	// copy: the object's post-copy age and whether it was tenured.
+	NoteScavenge(site Site, age int, promoted bool)
+
+	// NoteDeadOld feeds the raw status word of each dead old-generation
+	// object observed during major-GC precompaction; pretenuring
+	// policies use the vm.FlagPretenured bit to count mispredictions.
+	NoteDeadOld(status uint64)
+
+	// NotePretenured records a successful direct old-generation
+	// placement requested by AllocTarget.
+	NotePretenured(site Site)
+
+	// Stats returns a snapshot of the policy's counters.
+	Stats() Stats
+}
+
+// Stats is a policy-counter snapshot; fields not meaningful for a given
+// policy stay zero.
+type Stats struct {
+	Policy string
+
+	// NG2C-style pretenuring counters.
+	SitesProfiled     int     // sites with any observed activity
+	SitesPretenured   int     // sites currently in the pretenure state
+	PretenuredObjects int64   // direct old-generation placements
+	EarlyPromotions   int64   // survivor-free promotions at scavenge time
+	Mispredictions    int64   // dead pretenured objects seen at major GC
+	Demotions         int64   // sites demoted back to young allocation
+	Generations       []int64 // pretenured placements per target generation
+
+	// Deca-style lifetime-region counters.
+	EagerLabels        int   // distinct labels (epochs) placed eagerly
+	EagerMinorMoves    int64 // young objects moved to H2 regions at minor GC
+	EagerMajorClosures int64 // closure moves forced beyond the legacy decision
+}
+
+// Default is the legacy placement policy: every decision reproduces the
+// collectors' pre-seam hardcoded behavior verbatim, and every feedback
+// hook is a no-op. Runs under Default are byte-identical to runs
+// predating the policy plane.
+type Default struct{}
+
+// Name implements Policy.
+func (Default) Name() string { return "default" }
+
+// AllocTarget implements Policy: the collector's legacy logic decides.
+func (Default) AllocTarget(Site, int, bool) AllocDecision { return AllocDefault }
+
+// Promote implements Policy: the classic age threshold.
+func (Default) Promote(_ Site, age, tenureAge int) bool { return age >= tenureAge }
+
+// MoveToH2OnMinor implements Policy: exactly the move-hint decision.
+func (Default) MoveToH2OnMinor(_ uint64, advised bool) bool { return advised }
+
+// MoveClosureAtMajor implements Policy: exactly the legacy decision.
+func (Default) MoveClosureAtMajor(_ uint64, legacy bool) bool { return legacy }
+
+// NoteScavenge implements Policy (no-op).
+func (Default) NoteScavenge(Site, int, bool) {}
+
+// NoteDeadOld implements Policy (no-op).
+func (Default) NoteDeadOld(uint64) {}
+
+// NotePretenured implements Policy (no-op).
+func (Default) NotePretenured(Site) {}
+
+// Stats implements Policy.
+func (Default) Stats() Stats { return Stats{Policy: "default"} }

@@ -1,0 +1,65 @@
+package rt
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// globalAllowlist is the closed set of package-level variables this
+// package may declare. The kind registry is the single enumeration of
+// runtime kinds (names, figure labels, aliases) read by the CLI, the
+// serve config, and the experiment figures; it is append-only and never
+// mutated after init. Anything else belongs on Spec/Session, not
+// package state.
+var globalAllowlist = map[string]string{
+	"kindTable": "immutable runtime-kind registry (the one enumeration of kinds)",
+}
+
+// TestNoPackageLevelMutableState is the globals lint for the rt package,
+// mirroring the experiments one: any non-allowlisted package-level var
+// in a non-test file fails, so cross-session state cannot creep into the
+// runtime factory.
+func TestNoPackageLevelMutableState(t *testing.T) {
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatalf("ReadDir: %v", err)
+	}
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(".", name), nil, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, id := range vs.Names {
+					if id.Name == "_" {
+						continue // compile-time interface assertions
+					}
+					if _, ok := globalAllowlist[id.Name]; !ok {
+						t.Errorf("%s: package-level var %q is not in the allowlist; "+
+							"per-session state belongs on Spec/Session, not package state",
+							fset.Position(id.Pos()), id.Name)
+					}
+				}
+			}
+		}
+	}
+}

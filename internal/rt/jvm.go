@@ -5,6 +5,7 @@ import (
 	"github.com/carv-repro/teraheap-go/internal/fault"
 	"github.com/carv-repro/teraheap-go/internal/gc"
 	"github.com/carv-repro/teraheap-go/internal/heap"
+	"github.com/carv-repro/teraheap-go/internal/placement"
 	"github.com/carv-repro/teraheap-go/internal/simclock"
 	"github.com/carv-repro/teraheap-go/internal/storage"
 	"github.com/carv-repro/teraheap-go/internal/vm"
@@ -176,6 +177,16 @@ func (j *JVM) Clock() *simclock.Clock { return j.clock }
 // Collector exposes the underlying collector (experiments, tests).
 func (j *JVM) Collector() *gc.Collector { return j.collector }
 
+// SetPlacementPolicy installs a placement policy on the collector and,
+// when TeraHeap is attached, on its H2 movement decisions. Must be
+// called before any allocation.
+func (j *JVM) SetPlacementPolicy(p placement.Policy) {
+	j.collector.SetPlacementPolicy(p)
+	if j.th != nil {
+		j.th.SetPlacementPolicy(p)
+	}
+}
+
 // SetVerify toggles before/after-collection heap verification.
 func (j *JVM) SetVerify(v bool) { j.collector.SetVerify(v) }
 
@@ -224,12 +235,13 @@ func (j *JVM) AllocPrimArray(c *vm.Class, n int) (vm.Addr, error) {
 	return j.collector.AllocPrimArray(c, n)
 }
 
-// AllocCold allocates long-lived framework data (pretenured on Panthera).
+// AllocCold allocates long-lived framework data (pretenured on Panthera;
+// otherwise the cold bit reaches the placement policy's alloc decision).
 func (j *JVM) AllocCold(c *vm.Class) (vm.Addr, error) {
 	if j.pretenure {
 		return j.collector.AllocPretenured(c, c.NumRefs, c.InstanceWords())
 	}
-	return j.collector.Alloc(c)
+	return j.collector.AllocCold(c)
 }
 
 // AllocColdRefArray allocates a long-lived reference array.
@@ -237,7 +249,7 @@ func (j *JVM) AllocColdRefArray(c *vm.Class, n int) (vm.Addr, error) {
 	if j.pretenure {
 		return j.collector.AllocPretenured(c, n, vm.HeaderWords+n)
 	}
-	return j.collector.AllocRefArray(c, n)
+	return j.collector.AllocColdRefArray(c, n)
 }
 
 // AllocColdPrimArray allocates a long-lived primitive array.
@@ -245,7 +257,7 @@ func (j *JVM) AllocColdPrimArray(c *vm.Class, n int) (vm.Addr, error) {
 	if j.pretenure {
 		return j.collector.AllocPretenured(c, 0, vm.HeaderWords+n)
 	}
-	return j.collector.AllocPrimArray(c, n)
+	return j.collector.AllocColdPrimArray(c, n)
 }
 
 // WriteRef stores a reference field through the post-write barrier.

@@ -1,0 +1,88 @@
+package rt
+
+import "fmt"
+
+// KindInfo describes one runtime kind in the single registry that the
+// CLI, serve-config parsing, metrics row labels, and the experiment
+// runners all read. Adding a kind means adding one table entry (plus its
+// NewSession construction arm) — there are no parallel enums or mapping
+// switches to keep in sync.
+type KindInfo struct {
+	Kind Kind
+	// Name is the canonical name: CLI arguments, serve `kinds=` config,
+	// and serve metrics rows all use it.
+	Name string
+	// SparkLabel is the row-label component the Spark figure tables use
+	// (historically distinct from Name for PS and MO).
+	SparkLabel string
+	// Aliases are accepted alternate spellings for CLI/config parsing.
+	Aliases []string
+	// TeraHeap reports whether the kind carries an H2 second heap.
+	TeraHeap bool
+	// Desc is a one-line description for usage text.
+	Desc string
+}
+
+// kindTable is the registry. Table order is display and sweep order:
+// the six paper configurations first, then the pretenuring/lifetime
+// additions.
+var kindTable = []KindInfo{
+	{Kind: KindPS, Name: "ps", SparkLabel: "spark-sd", Aliases: []string{"sd"}, Desc: "native Parallel Scavenge JVM (Spark-SD, Giraph-OOC)"},
+	{Kind: KindTH, Name: "th", SparkLabel: "th", TeraHeap: true, Desc: "PS + TeraHeap"},
+	{Kind: KindG1, Name: "g1", SparkLabel: "g1", Desc: "Garbage-First baseline"},
+	{Kind: KindMO, Name: "mo", SparkLabel: "spark-mo", Aliases: []string{"spark-mo"}, Desc: "PS over NVM memory mode (Spark-MO)"},
+	{Kind: KindPanthera, Name: "panthera", SparkLabel: "panthera", Desc: "DRAM+NVM split old generation"},
+	{Kind: KindG1TH, Name: "g1+th", SparkLabel: "g1+th", Aliases: []string{"g1th"}, TeraHeap: true, Desc: "G1 with an attached TeraHeap"},
+	{Kind: KindNG2C, Name: "ng2c", SparkLabel: "ng2c", TeraHeap: true, Desc: "PS + TeraHeap + NG2C allocation-site pretenuring"},
+	{Kind: KindDeca, Name: "deca", SparkLabel: "deca", TeraHeap: true, Desc: "PS + Deca lifetime regions in DRAM"},
+}
+
+// Kinds returns the registered kinds in registry order. The slice is a
+// copy; callers may not mutate registry state.
+func Kinds() []KindInfo {
+	out := make([]KindInfo, len(kindTable))
+	copy(out, kindTable)
+	return out
+}
+
+// Info returns the registry entry for k. Unregistered values get a
+// synthetic entry whose Name is Kind(N), so diagnostics never panic.
+func (k Kind) Info() KindInfo {
+	for _, e := range kindTable {
+		if e.Kind == k {
+			return e
+		}
+	}
+	return KindInfo{Kind: k, Name: fmt.Sprintf("Kind(%d)", int(k)), SparkLabel: fmt.Sprintf("Kind(%d)", int(k))}
+}
+
+// String names the kind (the registry's canonical name).
+func (k Kind) String() string { return k.Info().Name }
+
+// SparkLabel returns the Spark-figure row label component for k.
+func (k Kind) SparkLabel() string { return k.Info().SparkLabel }
+
+// KindByName resolves a canonical name or alias to its kind.
+func KindByName(s string) (Kind, bool) {
+	for _, e := range kindTable {
+		if e.Name == s {
+			return e.Kind, true
+		}
+		for _, a := range e.Aliases {
+			if a == s {
+				return e.Kind, true
+			}
+		}
+	}
+	return 0, false
+}
+
+// KindNames returns the canonical kind names in registry order; error
+// messages for unknown kinds name this set.
+func KindNames() []string {
+	out := make([]string, len(kindTable))
+	for i, e := range kindTable {
+		out[i] = e.Name
+	}
+	return out
+}

@@ -8,16 +8,20 @@ import (
 	"github.com/carv-repro/teraheap-go/internal/fault"
 	"github.com/carv-repro/teraheap-go/internal/gc"
 	"github.com/carv-repro/teraheap-go/internal/heap"
+	"github.com/carv-repro/teraheap-go/internal/placement"
 	"github.com/carv-repro/teraheap-go/internal/recovery"
 	"github.com/carv-repro/teraheap-go/internal/simclock"
 	"github.com/carv-repro/teraheap-go/internal/storage"
 	"github.com/carv-repro/teraheap-go/internal/vm"
 )
 
-// Kind selects one of the paper's six runtime configurations.
+// Kind selects a runtime configuration. The registry in kinds.go maps
+// kinds to their names, labels, and aliases; String/SparkLabel/KindByName
+// all read it.
 type Kind int
 
-// Runtime kinds (§6 Table 2).
+// Runtime kinds: the paper's six configurations (§6 Table 2) plus the
+// NG2C pretenuring and Deca lifetime-region runtimes.
 const (
 	KindPS       Kind = iota // native Parallel Scavenge JVM (Spark-SD, Giraph-OOC)
 	KindTH                   // PS + TeraHeap
@@ -25,26 +29,9 @@ const (
 	KindMO                   // PS over NVM memory mode (Spark-MO)
 	KindPanthera             // DRAM+NVM split old generation
 	KindG1TH                 // G1 with an attached TeraHeap (§7.1)
+	KindNG2C                 // PS + TeraHeap + NG2C allocation-site pretenuring
+	KindDeca                 // PS + Deca lifetime regions in DRAM
 )
-
-// String names the kind.
-func (k Kind) String() string {
-	switch k {
-	case KindPS:
-		return "ps"
-	case KindTH:
-		return "th"
-	case KindG1:
-		return "g1"
-	case KindMO:
-		return "mo"
-	case KindPanthera:
-		return "panthera"
-	case KindG1TH:
-		return "g1+th"
-	}
-	return fmt.Sprintf("Kind(%d)", int(k))
-}
 
 // Spec declares one run's runtime: which configuration to build, how to
 // size it, and which cross-cutting layers (verification, fault injection)
@@ -113,9 +100,10 @@ type Spec struct {
 	// attaches it to the device and runtime. Each session gets its own
 	// injector, so concurrent sessions never share fault state.
 	FaultPlan *fault.Plan
-	// Recovery configures the self-healing layer (KindTH only). Nil
-	// installs recovery.DefaultPolicy; a policy with Enabled=false opts
-	// out, restoring the latch-and-degrade behavior.
+	// Recovery configures the self-healing layer (PS-based TeraHeap
+	// kinds: TH, NG2C, Deca). Nil installs recovery.DefaultPolicy; a
+	// policy with Enabled=false opts out, restoring the latch-and-degrade
+	// behavior.
 	Recovery *recovery.Policy
 }
 
@@ -141,8 +129,12 @@ type Session struct {
 	// heap first).
 	Events *EventStats
 	// Recovery is the self-healing layer, installed last on the hook
-	// plane for KindTH sessions with an enabled policy; nil otherwise.
+	// plane for PS-based TeraHeap sessions with an enabled policy; nil
+	// otherwise.
 	Recovery *recovery.Manager
+	// Placement is the session's placement policy when the kind installs
+	// a non-default one (NG2C, Deca); nil for legacy-placement kinds.
+	Placement placement.Policy
 }
 
 // EventStats counts collector lifecycle events: the second stock hook of
@@ -203,7 +195,10 @@ func NewSession(spec Spec) *Session {
 	dev := spec.Device
 	if dev == nil {
 		kind := spec.DeviceKind
-		if kind == storage.DRAM {
+		if kind == storage.DRAM && spec.Kind != KindDeca {
+			// The zero value defaults to the paper's NVMe base
+			// configuration — except for Deca, whose lifetime regions
+			// live in memory (a DRAM-cost device).
 			kind = storage.NVMeSSD
 		}
 		if spec.Stripes > 1 {
@@ -238,6 +233,28 @@ func NewSession(spec Spec) *Session {
 		s.Runtime = NewMemoryModeJVM(spec.H1Size, spec.DRAMCacheBytes, dev, classes, clock)
 	case KindPanthera:
 		s.Runtime = NewPantheraJVM(spec.H1Size, spec.DRAMOldBytes, dev, classes, clock)
+	case KindNG2C:
+		if spec.TH == nil {
+			panic("rt: Spec.TH is required for KindNG2C")
+		}
+		jvm := NewJVM(Options{H1Size: spec.H1Size, HeapCfg: spec.HeapCfg, Costs: spec.Costs,
+			TH: spec.TH, H2Device: dev}, classes, clock)
+		pol := placement.NewNG2C(placement.DefaultNG2CConfig())
+		jvm.SetPlacementPolicy(pol)
+		s.Runtime = jvm
+		s.TH = jvm.TeraHeap()
+		s.Placement = pol
+	case KindDeca:
+		if spec.TH == nil {
+			panic("rt: Spec.TH is required for KindDeca")
+		}
+		jvm := NewJVM(Options{H1Size: spec.H1Size, HeapCfg: spec.HeapCfg, Costs: spec.Costs,
+			TH: spec.TH, H2Device: dev}, classes, clock)
+		pol := placement.NewDeca()
+		jvm.SetPlacementPolicy(pol)
+		s.Runtime = jvm
+		s.TH = jvm.TeraHeap()
+		s.Placement = pol
 	default:
 		panic(fmt.Sprintf("rt: unknown runtime kind %d", int(spec.Kind)))
 	}
@@ -279,9 +296,9 @@ func NewSession(spec Spec) *Session {
 
 	// The recovery layer registers last, so the verifier and event counters
 	// observe a fault before any repair runs. It needs the PS collector
-	// (salvage re-materializes into H1's old generation), so only KindTH
-	// gets one.
-	if spec.Kind == KindTH {
+	// (salvage re-materializes into H1's old generation), so only the
+	// PS-based TeraHeap kinds get one.
+	if spec.Kind == KindTH || spec.Kind == KindNG2C || spec.Kind == KindDeca {
 		pol := recovery.DefaultPolicy()
 		if spec.Recovery != nil {
 			pol = *spec.Recovery
@@ -293,6 +310,16 @@ func NewSession(spec Spec) *Session {
 		}
 	}
 	return s
+}
+
+// PlacementStats returns a snapshot of the session's placement-policy
+// counters, or nil for legacy-placement kinds.
+func (s *Session) PlacementStats() *placement.Stats {
+	if s.Placement == nil {
+		return nil
+	}
+	st := s.Placement.Stats()
+	return &st
 }
 
 // RecoveryStats returns a snapshot of the recovery layer's counters, or

@@ -10,19 +10,20 @@ import (
 	"github.com/carv-repro/teraheap-go/internal/baselines/g1"
 	"github.com/carv-repro/teraheap-go/internal/core"
 	"github.com/carv-repro/teraheap-go/internal/fault"
+	"github.com/carv-repro/teraheap-go/internal/placement"
 	"github.com/carv-repro/teraheap-go/internal/simclock"
 	"github.com/carv-repro/teraheap-go/internal/storage"
 	"github.com/carv-repro/teraheap-go/internal/vm"
 )
 
 // allKinds lists every runtime kind the factory must construct.
-var allKinds = []Kind{KindPS, KindTH, KindG1, KindMO, KindPanthera, KindG1TH}
+var allKinds = []Kind{KindPS, KindTH, KindG1, KindMO, KindPanthera, KindG1TH, KindNG2C, KindDeca}
 
 // testSpec builds a small-but-valid Spec for the kind.
 func testSpec(k Kind) Spec {
 	spec := Spec{Kind: k, H1Size: 4 * storage.MB}
 	switch k {
-	case KindTH, KindG1TH:
+	case KindTH, KindG1TH, KindNG2C, KindDeca:
 		cfg := core.DefaultConfig(16 * storage.MB)
 		cfg.RegionSize = 64 * storage.KB
 		spec.TH = &cfg
@@ -78,7 +79,7 @@ func TestNewSessionAllKinds(t *testing.T) {
 					if ses.Runtime == nil || ses.Clock == nil || ses.Classes == nil || ses.Device == nil {
 						t.Fatalf("session has nil core resources: %+v", ses)
 					}
-					wantTH := kind == KindTH || kind == KindG1TH
+					wantTH := kind == KindTH || kind == KindG1TH || kind == KindNG2C || kind == KindDeca
 					if (ses.TH != nil) != wantTH {
 						t.Errorf("TH presence: got %v want %v", ses.TH != nil, wantTH)
 					}
@@ -97,14 +98,15 @@ func TestNewSessionAllKinds(t *testing.T) {
 					if wantVerify {
 						wantHooks++
 					}
-					if kind == KindTH {
+					if kind == KindTH || kind == KindNG2C || kind == KindDeca {
 						wantHooks++ // recovery.Manager (default policy)
 					}
 					if got := ses.Runtime.Hooks().Len(); got != wantHooks {
 						t.Errorf("hook count: got %d want %d", got, wantHooks)
 					}
-					if (ses.Recovery != nil) != (kind == KindTH) {
-						t.Errorf("recovery presence: got %v want %v", ses.Recovery != nil, kind == KindTH)
+					wantRec := kind == KindTH || kind == KindNG2C || kind == KindDeca
+					if (ses.Recovery != nil) != wantRec {
+						t.Errorf("recovery presence: got %v want %v", ses.Recovery != nil, wantRec)
 					}
 					driveMutator(t, ses.Runtime)
 					if ses.Events.MajorGCs < 1 {
@@ -141,6 +143,16 @@ func legacyRuntime(spec Spec) Runtime {
 		return NewMemoryModeJVM(spec.H1Size, spec.DRAMCacheBytes, dev, nil, clock)
 	case KindPanthera:
 		return NewPantheraJVM(spec.H1Size, spec.DRAMOldBytes, dev, nil, clock)
+	case KindNG2C:
+		j := NewJVM(Options{H1Size: spec.H1Size, TH: spec.TH, H2Device: dev}, nil, clock)
+		j.SetPlacementPolicy(placement.NewNG2C(placement.DefaultNG2CConfig()))
+		return j
+	case KindDeca:
+		// Deca's lifetime regions live on a DRAM-cost device.
+		j := NewJVM(Options{H1Size: spec.H1Size, TH: spec.TH,
+			H2Device: storage.NewDevice(storage.DRAM, clock)}, nil, clock)
+		j.SetPlacementPolicy(placement.NewDeca())
+		return j
 	}
 	panic("unknown kind")
 }

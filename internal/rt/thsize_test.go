@@ -89,8 +89,8 @@ func TestTHSizingGiraphPoints(t *testing.T) {
 		frac      float64
 		datasetGB float64
 	}{
-		{"PR/74GB", 74, 50.0 / 85, 85},   // Fig 9a reduced point
-		{"PR/85GB", 85, 50.0 / 85, 85},   // Table 4 full point
+		{"PR/74GB", 74, 50.0 / 85, 85}, // Fig 9a reduced point
+		{"PR/85GB", 85, 50.0 / 85, 85}, // Table 4 full point
 		{"CDLP/74GB", 74, 60.0 / 85, 85},
 		{"BFS/57GB", 57, 35.0 / 65, 65},
 		{"SSSP/90GB", 90, 50.0 / 90, 90},

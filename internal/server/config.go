@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/carv-repro/teraheap-go/internal/rt"
 	"github.com/carv-repro/teraheap-go/internal/simclock"
 	"github.com/carv-repro/teraheap-go/internal/vm"
 )
@@ -60,6 +61,11 @@ type Config struct {
 	// HotFrac is the fraction of store shards kept hot in H1; the rest
 	// are tagged and advised to H2 (no-op on runtimes without one).
 	HotFrac float64
+	// Kinds restricts a serve sweep to a subset of runtime kinds, by
+	// registry name (rt.KindNames). Empty means every registered kind.
+	// The DSL form is colon-separated — kinds=ps:th:g1+th — because "+"
+	// is itself part of the g1+th name.
+	Kinds []string
 }
 
 // DefaultConfig is the base serve configuration: a 4096-key store with
@@ -172,6 +178,18 @@ func (c Config) Validate() error {
 	if !(c.HotFrac >= 0 && c.HotFrac <= 1) {
 		return fmt.Errorf("server: hot=%g: want a fraction in [0,1]", c.HotFrac)
 	}
+	seenKind := make(map[string]bool)
+	for _, n := range c.Kinds {
+		if _, ok := rt.KindByName(n); !ok {
+			return fmt.Errorf("server: kinds=%s: unknown kind %q (valid: %s)",
+				strings.Join(c.Kinds, ":"), n, strings.Join(rt.KindNames(), " "))
+		}
+		if seenKind[n] {
+			return fmt.Errorf("server: kinds=%s: duplicate kind %q",
+				strings.Join(c.Kinds, ":"), n)
+		}
+		seenKind[n] = true
+	}
 	return nil
 }
 
@@ -179,11 +197,17 @@ func (c Config) Validate() error {
 // in fixed order — the canonical form, so ParseConfig(c.String()) round
 // trips exactly.
 func (c Config) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"seed=%d,rate=%g,reqs=%d,clients=%d,keys=%d,zipf=%g,vwords=%d,deadline=%s,queue=%d,retries=%d,backoff=%s,reads=%g,scan=%g,scanlen=%d,churn=%g,hot=%g",
 		c.Seed, c.RatePerSec, c.Requests, c.Clients, c.Keys, c.ZipfS, c.ValueWords,
 		c.Deadline, c.QueueDepth, c.MaxRetries, c.Backoff,
 		c.ReadFrac, c.ScanFrac, c.ScanLen, c.ChurnProb, c.HotFrac)
+	// kinds is rendered only when set, so legacy configs round trip to the
+	// exact legacy canonical string.
+	if len(c.Kinds) > 0 {
+		s += ",kinds=" + strings.Join(c.Kinds, ":")
+	}
+	return s
 }
 
 // ParseConfig parses the comma-separated key=value serve-config DSL used
@@ -205,6 +229,8 @@ func (c Config) String() string {
 //	scanlen=N     keys touched per scan (1..64)
 //	churn=F       per-request session-churn probability
 //	hot=F         fraction of store shards kept hot in H1
+//	kinds=A:B:C   restrict the sweep to these runtime kinds (colon
+//	              separated registry names, e.g. kinds=ps:th:g1+th)
 //
 // Unknown keys, duplicate keys, malformed values, and out-of-range knobs
 // are errors, mirroring fault.ParsePlan: a sweep that silently ignored a
@@ -259,8 +285,10 @@ func ParseConfig(s string) (Config, error) {
 			c.ChurnProb, err = parseFinite(val)
 		case "hot":
 			c.HotFrac, err = parseFinite(val)
+		case "kinds":
+			c.Kinds = strings.Split(val, ":")
 		default:
-			return c, fmt.Errorf("server: unknown config key %q (valid: seed, rate, reqs, clients, keys, zipf, vwords, deadline, queue, retries, backoff, reads, scan, scanlen, churn, hot)", key)
+			return c, fmt.Errorf("server: unknown config key %q (valid: seed, rate, reqs, clients, keys, zipf, vwords, deadline, queue, retries, backoff, reads, scan, scanlen, churn, hot, kinds)", key)
 		}
 		if err != nil {
 			return c, fmt.Errorf("server: bad %s=%s: %w", key, val, err)

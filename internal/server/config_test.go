@@ -1,6 +1,7 @@
 package server
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -11,7 +12,7 @@ func TestParseConfigDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatalf("ParseConfig(\"\"): %v", err)
 	}
-	if got != DefaultConfig() {
+	if !reflect.DeepEqual(got, DefaultConfig()) {
 		t.Errorf("empty DSL diverges from DefaultConfig:\n got %+v\nwant %+v", got, DefaultConfig())
 	}
 }
@@ -58,6 +59,10 @@ func TestParseConfigErrors(t *testing.T) {
 		{"keys=0", "keys=0"},
 		{"clients=0", "clients=0"},
 		{"backoff=0s", "backoff=0s"},
+		{"kinds=ps:bogus", `unknown kind "bogus"`},
+		{"kinds=warp", "valid: ps th g1 mo panthera g1+th ng2c deca"},
+		{"kinds=th:th", `duplicate kind "th"`},
+		{"kinds=", `unknown kind ""`},
 	}
 	for _, tc := range cases {
 		_, err := ParseConfig(tc.dsl)
@@ -77,6 +82,8 @@ func TestConfigStringRoundTrip(t *testing.T) {
 		"rate=60000,deadline=2ms,queue=64",
 		"seed=7,rate=180000,reqs=30000,deadline=1ms,retries=5,backoff=100us",
 		"keys=65536,vwords=256,zipf=1.2,hot=0.1,churn=0.05,scan=0.2,scanlen=8",
+		"kinds=ps:th:g1+th",
+		"rate=20000,kinds=deca",
 	} {
 		c, err := ParseConfig(dsl)
 		if err != nil {
@@ -86,7 +93,7 @@ func TestConfigStringRoundTrip(t *testing.T) {
 		if err != nil {
 			t.Fatalf("ParseConfig(String(%q)) = ParseConfig(%q): %v", dsl, c.String(), err)
 		}
-		if again != c {
+		if !reflect.DeepEqual(again, c) {
 			t.Errorf("round trip of %q diverged:\n  canon %q\n  got   %+v\n  want  %+v", dsl, c.String(), again, c)
 		}
 	}
@@ -112,6 +119,9 @@ func FuzzParseConfig(f *testing.F) {
 		"  rate = 5 ,,",
 		"seed=18446744073709551615",
 		"rate=NaN,scan=Inf",
+		"kinds=ps:th:g1+th:ng2c",
+		"kinds=g1+th:g1",
+		"kinds=:",
 	} {
 		f.Add(seed)
 	}
@@ -130,7 +140,7 @@ func FuzzParseConfig(f *testing.F) {
 		if rerr != nil {
 			t.Fatalf("canonical form rejected: %v (canon %q, input %q)", rerr, c.String(), dsl)
 		}
-		if again != c {
+		if !reflect.DeepEqual(again, c) {
 			t.Fatalf("canonical round trip diverged (input %q):\n canon %q\n got   %+v\n want  %+v",
 				dsl, c.String(), again, c)
 		}

@@ -22,13 +22,14 @@ const (
 // (minor direct promotion, major compaction, G1 closure moves) and the
 // invariant verifier all need to strip or test the transient GC bits.
 const (
-	ClassMask   = 0xFFFF // bits 0-15
-	ageShift    = 16     // bits 16-19
-	ageMask     = 0xF
-	FlagMark    = 1 << 24 // live, set by major GC marking
-	FlagClosure = 1 << 25 // selected for H2 movement this major GC
-	FlagFwd     = 1 << 63 // word 0 holds a forwarding pointer
-	FwdAddrMask = (1 << 48) - 1
+	ClassMask      = 0xFFFF // bits 0-15
+	ageShift       = 16     // bits 16-19
+	ageMask        = 0xF
+	FlagMark       = 1 << 24 // live, set by major GC marking
+	FlagClosure    = 1 << 25 // selected for H2 movement this major GC
+	FlagPretenured = 1 << 26 // placed in old gen by a placement policy
+	FlagFwd        = 1 << 63 // word 0 holds a forwarding pointer
+	FwdAddrMask    = (1 << 48) - 1
 )
 
 // MaxAge is the tenuring ceiling representable in the header.
@@ -188,6 +189,13 @@ func StatusForwardee(status uint64) Addr { return Addr(status & FwdAddrMask) }
 
 // StatusClassID decodes the class id of a raw status word.
 func StatusClassID(status uint64) ClassID { return ClassID(status & ClassMask) }
+
+// StatusAge decodes the tenuring age of a raw status word.
+func StatusAge(status uint64) int { return int(status >> ageShift & ageMask) }
+
+// StatusPretenured reports whether a raw status word carries the
+// policy-pretenured bit.
+func StatusPretenured(status uint64) bool { return status&FlagPretenured != 0 }
 
 // ShapeSizeWords decodes the total object size (in words) of a raw shape word.
 func ShapeSizeWords(shape uint64) int { return int(uint32(shape)) }
